@@ -1,0 +1,36 @@
+"""Figure 10 — efficiency with a nonsaturating co-runner."""
+
+from repro.experiments import figure10
+from repro.metrics.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_benchmark_figure10(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: figure10.run(
+            duration_us=300_000.0, warmup_us=60_000.0, ratios=(0.0, 0.4, 0.8)
+        ),
+    )
+    print(
+        "\n"
+        + format_table(
+            ["scheduler", "sleep", "efficiency", "loss"],
+            [
+                [
+                    row.scheduler,
+                    row.sleep_ratio,
+                    row.efficiency,
+                    f"{100 * row.loss_vs_direct:.0f}%",
+                ]
+                for row in rows
+            ],
+            title="Figure 10 (paper @80%: TS -36%, DTS -34%, DFQ ~0%)",
+        )
+    )
+    at80 = {row.scheduler: row for row in rows if row.sleep_ratio == 0.8}
+    # The timeslice schedulers waste the sleeper's slices; DFQ does not.
+    assert at80["timeslice"].loss_vs_direct > 0.15
+    assert at80["disengaged-timeslice"].loss_vs_direct > 0.15
+    assert at80["dfq"].loss_vs_direct < 0.12

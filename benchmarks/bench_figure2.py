@@ -1,0 +1,33 @@
+"""Figure 2 — CDFs of request inter-arrival and service periods."""
+
+from repro.experiments import figure2
+from repro.metrics.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_benchmark_figure2(benchmark):
+    series = run_once(
+        benchmark,
+        lambda: figure2.run(duration_us=150_000.0, warmup_us=20_000.0),
+    )
+    bins = list(range(0, 14))
+    rows = []
+    for entry in series:
+        rows.append([entry.app, "service"] + [entry.service_bins[b] for b in bins])
+        rows.append(
+            [entry.app, "inter-arr"] + [entry.interarrival_bins[b] for b in bins]
+        )
+    print(
+        "\n"
+        + format_table(
+            ["app", "series"] + [f"b{b}" for b in bins],
+            rows,
+            title="Figure 2: cumulative % per log2(µs) bin",
+        )
+    )
+    # The paper's headline: a large share of requests are short and
+    # submitted back-to-back.
+    for entry in series:
+        assert entry.short_request_fraction >= 0.4, entry.app
+        assert entry.interarrival.quantile(0.5) < 2_000.0, entry.app

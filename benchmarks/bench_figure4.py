@@ -1,0 +1,48 @@
+"""Figure 4 — standalone slowdown per application per scheduler."""
+
+from repro.experiments import figure4
+from repro.metrics.tables import format_table
+
+from benchmarks.conftest import run_once
+
+APPS = [
+    "BinarySearch", "BitonicSort", "DCT", "FFT", "FloydWarshall",
+    "MatrixMulDouble", "PrefixSum", "glxgears", "oclParticles",
+    "simpleTexture3D",
+]
+
+
+def test_benchmark_figure4(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: figure4.run(
+            duration_us=200_000.0, warmup_us=40_000.0, apps=APPS
+        ),
+    )
+    print(
+        "\n"
+        + format_table(
+            ["app", "direct(us)"] + list(figure4.SCHEDULERS),
+            [
+                [row.app, row.direct_round_us]
+                + [row.slowdowns[s] for s in figure4.SCHEDULERS]
+                for row in rows
+            ],
+            title="Figure 4: standalone slowdown vs direct access",
+        )
+    )
+    for row in rows:
+        # Paper's shape: DTS <=~2%, DFQ <=~5% (we allow simulator slack);
+        # engaged Timeslice is never cheaper than DTS by more than noise.
+        assert row.slowdowns["disengaged-timeslice"] < 1.10, row.app
+        assert row.slowdowns["dfq"] < 1.15, row.app
+        assert (
+            row.slowdowns["timeslice"]
+            > row.slowdowns["disengaged-timeslice"] - 0.03
+        ), row.app
+    # Small-request applications suffer the most under engaged Timeslice.
+    by_app = {row.app: row for row in rows}
+    assert (
+        by_app["glxgears"].slowdowns["timeslice"]
+        > by_app["MatrixMulDouble"].slowdowns["timeslice"]
+    )

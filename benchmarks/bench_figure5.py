@@ -1,0 +1,31 @@
+"""Figure 5 — standalone Throttle slowdown across request sizes."""
+
+from repro.experiments import figure5
+from repro.metrics.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_benchmark_figure5(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: figure5.run(duration_us=150_000.0, warmup_us=25_000.0),
+    )
+    print(
+        "\n"
+        + format_table(
+            ["size(us)"] + list(figure5.SCHEDULERS),
+            [
+                [row.request_size_us]
+                + [row.slowdowns[s] for s in figure5.SCHEDULERS]
+                for row in rows
+            ],
+            title="Figure 5: standalone Throttle slowdown",
+        )
+    )
+    engaged = [row.slowdowns["timeslice"] for row in rows]
+    assert engaged[0] > 1.15  # expensive at 19us
+    assert engaged[-1] < 1.05  # negligible at 1.7ms
+    for row in rows:
+        assert row.slowdowns["disengaged-timeslice"] < 1.08
+        assert row.slowdowns["dfq"] < 1.12

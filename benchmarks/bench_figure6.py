@@ -1,0 +1,59 @@
+"""Figure 6 — pairwise fairness (application vs Throttle)."""
+
+from repro.experiments import figure6
+from repro.metrics.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_benchmark_figure6(benchmark):
+    outcomes = run_once(
+        benchmark,
+        lambda: figure6.run(
+            duration_us=300_000.0,
+            warmup_us=60_000.0,
+            sizes=(19.0, 303.0, 1700.0),
+        ),
+    )
+    print(
+        "\n"
+        + format_table(
+            ["app", "thr size", "scheduler", "app x", "thr x"],
+            [
+                [
+                    o.app,
+                    o.throttle_size_us,
+                    o.scheduler,
+                    o.app_slowdown,
+                    o.throttle_slowdown,
+                ]
+                for o in outcomes
+            ],
+            title="Figure 6: slowdowns vs standalone direct access",
+        )
+    )
+    # Direct access: unfairness grows with request-size asymmetry.
+    direct_dct_large = next(
+        o for o in outcomes
+        if o.scheduler == "direct" and o.app == "DCT"
+        and o.throttle_size_us == 1700.0
+    )
+    assert direct_dct_large.app_slowdown > 8.0
+    # Paper schedulers: compute pairs near the fair 2x.
+    for o in outcomes:
+        if o.scheduler in ("timeslice", "disengaged-timeslice") and o.app in (
+            "DCT",
+            "FFT",
+        ):
+            assert o.app_slowdown < 3.2, (o.app, o.throttle_size_us)
+            assert o.throttle_slowdown < 3.2, (o.app, o.throttle_size_us)
+        if o.scheduler == "dfq" and o.app in ("DCT", "FFT"):
+            assert o.app_slowdown < 3.2
+            assert o.throttle_slowdown < 3.4
+    # The glxgears anomaly under DFQ at small Throttle sizes.
+    gears = next(
+        o for o in outcomes
+        if o.scheduler == "dfq" and o.app == "glxgears"
+        and o.throttle_size_us == 19.0
+    )
+    assert gears.app_slowdown > gears.throttle_slowdown * 1.3

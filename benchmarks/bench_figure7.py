@@ -1,0 +1,44 @@
+"""Figure 7 — concurrency efficiency of the pairwise executions."""
+
+from repro.experiments import figure7
+from repro.metrics.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_benchmark_figure7(benchmark):
+    outcomes, summaries = run_once(
+        benchmark,
+        lambda: figure7.run(
+            duration_us=300_000.0,
+            warmup_us=60_000.0,
+            sizes=(19.0, 303.0, 1700.0),
+        ),
+    )
+    print(
+        "\n"
+        + format_table(
+            ["scheduler", "mean eff", "mean loss", "max loss"],
+            [
+                [
+                    s.scheduler,
+                    s.mean_efficiency,
+                    f"{100 * s.mean_loss_vs_direct:.0f}%",
+                    f"{100 * s.max_loss_vs_direct:.0f}%",
+                ]
+                for s in summaries
+            ],
+            title="Figure 7 summary (paper: TS 19%/42%, DTS 10%/35%, DFQ 4%/18%)",
+        )
+    )
+    by_name = {s.scheduler: s for s in summaries}
+    # The paper's ordering: DFQ loses the least, engaged TS the most.
+    assert (
+        by_name["dfq"].mean_loss_vs_direct
+        <= by_name["disengaged-timeslice"].mean_loss_vs_direct + 0.02
+    )
+    assert (
+        by_name["disengaged-timeslice"].mean_loss_vs_direct
+        <= by_name["timeslice"].mean_loss_vs_direct + 0.02
+    )
+    assert by_name["dfq"].mean_loss_vs_direct < 0.15

@@ -1,0 +1,35 @@
+"""Figure 8 — four-way fairness and efficiency."""
+
+from repro.experiments import figure8
+from repro.metrics.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_benchmark_figure8(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: figure8.run(duration_us=400_000.0, warmup_us=80_000.0),
+    )
+    names = list(rows[0].slowdowns)
+    print(
+        "\n"
+        + format_table(
+            ["scheduler"] + names + ["efficiency"],
+            [
+                [row.scheduler]
+                + [row.slowdowns[name] for name in names]
+                + [row.efficiency]
+                for row in rows
+            ],
+            title="Figure 8: four-way slowdowns (expected ~4-5x) and efficiency",
+        )
+    )
+    by_name = {row.scheduler: row for row in rows}
+    # Direct access crushes somebody; managed schedulers keep everyone
+    # within sight of the expected 4-5x.
+    assert max(by_name["direct"].slowdowns.values()) > 6.0
+    for scheduler in ("timeslice", "disengaged-timeslice", "dfq"):
+        assert max(by_name[scheduler].slowdowns.values()) < 8.0, scheduler
+    # Disengagement costs less at four-way scale too.
+    assert by_name["dfq"].efficiency >= by_name["timeslice"].efficiency - 0.05

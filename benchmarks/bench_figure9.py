@@ -1,0 +1,31 @@
+"""Figure 9 — fairness with a nonsaturating co-runner."""
+
+from repro.experiments import figure9
+from repro.metrics.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_benchmark_figure9(benchmark):
+    cells = run_once(
+        benchmark,
+        lambda: figure9.run(
+            duration_us=300_000.0, warmup_us=60_000.0, ratios=(0.0, 0.4, 0.8)
+        ),
+    )
+    print(
+        "\n"
+        + format_table(
+            ["scheduler", "sleep", "DCT x", "throttle x"],
+            [
+                [c.scheduler, c.sleep_ratio, c.app_slowdown, c.throttle_slowdown]
+                for c in cells
+            ],
+            title="Figure 9: DCT vs nonsaturating Throttle",
+        )
+    )
+    at80 = {c.scheduler: c for c in cells if c.sleep_ratio == 0.8}
+    # DFQ lets DCT benefit from the sleeper's idleness; timeslice idles.
+    assert at80["dfq"].app_slowdown < at80["timeslice"].app_slowdown
+    assert at80["dfq"].app_slowdown < 1.8
+    assert at80["dfq"].throttle_slowdown < 2.5

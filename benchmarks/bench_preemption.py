@@ -1,0 +1,42 @@
+"""Section 6.2 what-if — hardware preemption + runlist masking."""
+
+from repro.experiments import preemption
+from repro.metrics.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_benchmark_preemption_containment(benchmark):
+    outcomes = run_once(
+        benchmark,
+        lambda: preemption.run_containment(
+            duration_us=300_000.0, warmup_us=60_000.0
+        ),
+    )
+    print(
+        "\n"
+        + format_table(
+            ["scheduler", "preemption", "killed", "attacker share", "victim x"],
+            [
+                [
+                    o.scheduler,
+                    o.preemption,
+                    o.attacker_killed,
+                    f"{100 * o.attacker_share:.0f}%",
+                    o.victim_slowdown,
+                ]
+                for o in outcomes
+            ],
+            title="Infinite-loop handling with/without hardware preemption",
+        )
+    )
+    for o in outcomes:
+        if o.preemption:
+            # Tolerated: contained to a bounded share, victim keeps going.
+            assert not o.attacker_killed
+            assert o.attacker_share < 0.75
+            assert o.victim_slowdown < 3.0
+            assert o.preemptions > 0
+        else:
+            # Killed: the only protection without hardware support.
+            assert o.attacker_killed

@@ -1,0 +1,58 @@
+"""Protection — infinite-loop kill and greedy-batcher containment."""
+
+from repro.experiments import protection
+from repro.metrics.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_benchmark_protection_infinite_loop(benchmark):
+    outcomes = run_once(
+        benchmark, lambda: protection.run_infinite_loop(duration_us=250_000.0)
+    )
+    print(
+        "\n"
+        + format_table(
+            ["scheduler", "killed", "victim rounds", "starved"],
+            [
+                [o.scheduler, o.attacker_killed, o.victim_rounds_after_attack,
+                 o.victim_starved]
+                for o in outcomes
+            ],
+            title="Infinite-loop request",
+        )
+    )
+    by_name = {o.scheduler: o for o in outcomes}
+    assert not by_name["direct"].attacker_killed
+    assert by_name["direct"].victim_starved
+    for scheduler in ("timeslice", "disengaged-timeslice", "dfq"):
+        assert by_name[scheduler].attacker_killed, scheduler
+        assert not by_name[scheduler].victim_starved, scheduler
+
+
+def test_benchmark_protection_greedy_batcher(benchmark):
+    outcomes = run_once(
+        benchmark,
+        lambda: protection.run_greedy_batcher(
+            duration_us=250_000.0, warmup_us=50_000.0
+        ),
+    )
+    print(
+        "\n"
+        + format_table(
+            ["scheduler", "batcher share", "victim share"],
+            [
+                [o.scheduler, f"{100 * o.batcher_share:.0f}%",
+                 f"{100 * o.victim_share:.0f}%"]
+                for o in outcomes
+            ],
+            title="Greedy batcher vs equal-work victim",
+        )
+    )
+    by_name = {o.scheduler: o for o in outcomes}
+    assert by_name["direct"].batcher_share > 0.8
+    for scheduler in ("timeslice", "disengaged-timeslice"):
+        assert by_name[scheduler].batcher_share < 0.65, scheduler
+    # DFQ's fairness is probabilistic: imbalance is only remedied once it
+    # exceeds an inter-engagement interval (Section 3.3).
+    assert by_name["dfq"].batcher_share < 0.72

@@ -1,0 +1,33 @@
+"""Section 3 — direct-access vs trap-per-request throughput."""
+
+from repro.experiments import section3_throughput
+from repro.metrics.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_benchmark_section3(benchmark):
+    rows = run_once(
+        benchmark, lambda: section3_throughput.run(duration_us=80_000.0)
+    )
+    print(
+        "\n"
+        + format_table(
+            ["request(us)", "direct", "trap", "trap+driver", "gain", "gain(driver)"],
+            [
+                [
+                    row.request_size_us,
+                    row.direct_rps,
+                    row.syscall_rps,
+                    row.driver_rps,
+                    f"{100 * row.direct_vs_syscall_gain:.0f}%",
+                    f"{100 * row.direct_vs_driver_gain:.0f}%",
+                ]
+                for row in rows
+            ],
+            title="Section 3 (paper: +8-35% bare, +48-170% with driver work)",
+        )
+    )
+    small = rows[0]
+    assert 0.10 < small.direct_vs_syscall_gain < 0.45
+    assert 0.8 < small.direct_vs_driver_gain < 2.2

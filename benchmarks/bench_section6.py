@@ -1,0 +1,32 @@
+"""Section 6.3 — channel-exhaustion DoS and the quota defense."""
+
+from repro.experiments import section6_dos
+from repro.metrics.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_benchmark_section6(benchmark):
+    outcomes = run_once(benchmark, lambda: section6_dos.run(duration_us=50_000.0))
+    print(
+        "\n"
+        + format_table(
+            ["quota", "hog ctx", "hog ch", "victim rounds", "locked out"],
+            [
+                [
+                    "on" if o.quota_enabled else "off",
+                    o.hog_contexts,
+                    o.hog_channels,
+                    o.victim_rounds,
+                    o.victim_locked_out,
+                ]
+                for o in outcomes
+            ],
+            title="Section 6.3 (paper: 48 contexts exhaust the GTX670)",
+        )
+    )
+    unprotected = next(o for o in outcomes if not o.quota_enabled)
+    protected = next(o for o in outcomes if o.quota_enabled)
+    assert unprotected.hog_contexts == 48
+    assert unprotected.victim_locked_out
+    assert not protected.victim_locked_out

@@ -1,0 +1,32 @@
+"""Table 1 — benchmark characteristics (round times, request sizes)."""
+
+from repro.experiments import table1
+from repro.metrics.tables import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_benchmark_table1(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: table1.run(duration_us=150_000.0, warmup_us=25_000.0),
+    )
+    assert len(rows) == 18
+    table = format_table(
+        ["app", "round(paper)", "round(ours)", "req(paper)", "req(ours)"],
+        [
+            [
+                row.app,
+                row.paper_round_us,
+                row.measured_round_us,
+                row.paper_request_us if row.paper_request_us else "-",
+                row.measured_request_us,
+            ]
+            for row in rows
+        ],
+        title="Table 1 (µs)",
+    )
+    print("\n" + table)
+    # Every application's emergent round time tracks the paper.
+    for row in rows:
+        assert abs(row.round_error) < 0.25, row.app

@@ -1,0 +1,17 @@
+"""Benchmark harness conventions.
+
+Each ``bench_*.py`` regenerates one paper table/figure at a reduced (but
+structurally complete) scale and prints the paper-style rows.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Every benchmark executes its experiment exactly once (simulations are
+deterministic; repetition would only measure the host machine).
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Protection against misbehaving applications (Sections 1, 3.1, 6.3).
+
+Three attacks from the paper, and what each scheduler/policy does:
+
+1. an infinite-loop compute request that would hang the device forever —
+   detected via the drain-timeout watchdog and killed;
+2. a greedy batcher that inflates request sizes to hog a work-conserving
+   device — contained to ~half the machine;
+3. a channel hog that opens contexts until the device is exhausted —
+   stopped by the channel quota policy.
+
+Run:  python examples/adversarial_protection.py
+"""
+
+from repro import (
+    ChannelHog,
+    ChannelQuotaPolicy,
+    CostParams,
+    GreedyBatcher,
+    InfiniteKernel,
+    Throttle,
+    build_env,
+    make_app,
+    run_workloads,
+)
+from repro.metrics.tables import format_table
+
+
+def infinite_loop_attack() -> None:
+    costs = CostParams()
+    costs.max_request_us = 50_000.0  # the documented per-request limit
+    rows = []
+    for scheduler in ("direct", "dfq"):
+        env = build_env(scheduler, costs=costs, seed=0)
+        attacker = InfiniteKernel(normal_size_us=100.0, normal_requests=30)
+        victim = make_app("DCT", instance="victim")
+        run_workloads(env, [attacker, victim], 300_000.0, 0.0)
+        rows.append(
+            [
+                scheduler,
+                attacker.killed,
+                attacker.task.kill_reason or "-",
+                victim.rounds.stats(warmup_us=150_000.0).count,
+            ]
+        )
+    print(
+        format_table(
+            ["scheduler", "attacker killed", "reason", "victim rounds after"],
+            rows,
+            title="1. Infinite-loop request",
+        )
+    )
+
+
+def greedy_batcher_attack() -> None:
+    rows = []
+    for scheduler in ("direct", "dfq"):
+        env = build_env(scheduler, seed=0)
+        batcher = GreedyBatcher(work_unit_us=50.0, batch_factor=20)
+        victim = Throttle(50.0, name="victim")
+        run_workloads(env, [batcher, victim], 300_000.0, 50_000.0)
+        total = env.device.task_usage(batcher.task) + env.device.task_usage(
+            victim.task
+        )
+        rows.append(
+            [scheduler, f"{100 * env.device.task_usage(batcher.task) / total:.0f}%"]
+        )
+    print(
+        format_table(
+            ["scheduler", "batcher's device share"],
+            rows,
+            title="\n2. Greedy batching (equal work per unit time, 20x batches)",
+        )
+    )
+
+
+def channel_dos_attack() -> None:
+    rows = []
+    for quota in (None, ChannelQuotaPolicy(channels_per_task=4)):
+        env = build_env("direct", quota=quota, seed=0)
+        hog = ChannelHog()
+        victim = Throttle(100.0, name="victim")
+        hog.start(env.sim, env.kernel, env.rng)
+        env.sim.run(until=20_000.0)
+        victim.start(env.sim, env.kernel, env.rng)
+        env.sim.run(until=40_000.0)
+        rows.append(
+            [
+                "on" if quota else "off",
+                hog.contexts_opened,
+                hog.channels_opened,
+                len(victim.rounds) > 0,
+            ]
+        )
+    print(
+        format_table(
+            ["quota", "hog contexts", "hog channels", "victim can run"],
+            rows,
+            title="\n3. Channel-exhaustion DoS (GTX670: 48 contexts = locked)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    infinite_loop_attack()
+    greedy_batcher_attack()
+    channel_dos_attack()

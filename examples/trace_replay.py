@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Open-loop trace replay and weighted fair sharing.
+
+Two library features beyond the paper's evaluation:
+
+1. **Trace replay** — a latency-sensitive service is modeled as an
+   open-loop Poisson request stream (submissions happen on schedule no
+   matter how slow the device is, so queueing shows up as latency); a
+   batch job shares the GPU with it.
+2. **Weighted DFQ** — the same scenario with the service given weight 3,
+   entitling it to 3/4 of the device whenever it wants it.
+
+Run:  python examples/trace_replay.py
+"""
+
+import numpy as np
+
+from repro import Throttle, build_env, run_workloads
+from repro.core.disengaged_fq import DisengagedFairQueueing
+from repro.metrics.tables import format_table
+from repro.workloads.traces import TraceWorkload, synthesize_poisson_trace
+
+DURATION_US = 400_000.0
+WARMUP_US = 80_000.0
+
+
+def make_service() -> TraceWorkload:
+    rng = np.random.default_rng(7)
+    entries = synthesize_poisson_trace(
+        rng,
+        rate_per_ms=1.5,       # ~1.5 requests per millisecond
+        mean_size_us=80.0,
+        duration_us=DURATION_US,
+    )
+    return TraceWorkload(entries, name="service", open_loop=True)
+
+
+def run_case(scheduler) -> list:
+    env = build_env(scheduler, seed=7)
+    service = make_service()
+    batch = Throttle(1500.0, name="batch")
+    run_workloads(env, [service, batch], DURATION_US, WARMUP_US)
+    stats = service.rounds.stats(WARMUP_US)
+    return [
+        stats.mean_us,           # mean request latency, queueing included
+        stats.p95_us,
+        batch.round_stats(WARMUP_US).mean_us,
+        env.device.task_usage(service.task)
+        / (env.device.task_usage(service.task) + env.device.task_usage(batch.task)),
+    ]
+
+
+def main() -> None:
+    rows = []
+    for label, scheduler in [
+        ("direct", "direct"),
+        ("dfq (equal)", "dfq"),
+        ("dfq (service weight 3)", DisengagedFairQueueing(weights={"service": 3.0})),
+    ]:
+        latency, p95, batch_round, share = run_case(scheduler)
+        rows.append([label, latency, p95, batch_round, f"{100 * share:.0f}%"])
+    print(
+        format_table(
+            [
+                "scheduler",
+                "service latency (us)",
+                "service p95 (us)",
+                "batch round (us)",
+                "service share",
+            ],
+            rows,
+            title="Poisson service (open loop) vs 1.5ms batch job",
+        )
+    )
+    print(
+        "\nDirect access leaves the service at the mercy of the batch job's"
+        "\n1.5ms requests; DFQ bounds the damage, and weighting the service"
+        "\nbuys it priority without starving the batch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""ASCII chart rendering for experiment output.
+
+The experiment drivers print tables; these helpers add quick horizontal
+bar charts and sparkline-style series so results can be eyeballed in a
+terminal without any plotting dependency (the environment is offline).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def bar_chart(
+    rows: Sequence[Tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+    max_value: Optional[float] = None,
+    marker: str = "#",
+) -> str:
+    """Horizontal bars, one per (label, value) row, scaled to ``width``.
+
+    A ``max_value`` pins the scale (useful to compare charts); otherwise
+    the largest value fills the width.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    if not rows:
+        return "(no data)"
+    values = [value for _, value in rows]
+    if any(value < 0 for value in values):
+        raise ValueError("bar_chart needs non-negative values")
+    scale = max_value if max_value is not None else max(values)
+    if scale <= 0:
+        scale = 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        filled = int(round(width * min(value, scale) / scale))
+        bar = marker * filled
+        overflow = "+" if value > scale else ""
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)}{overflow}| "
+            f"{value:.3g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line intensity strip for a numeric series."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARK_LEVELS[len(_SPARK_LEVELS) // 2] * len(values)
+    cells = []
+    for value in values:
+        index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        cells.append(_SPARK_LEVELS[index])
+    return "".join(cells)
+
+
+def grouped_bar_chart(
+    groups: Sequence[Tuple[str, Sequence[Tuple[str, float]]]],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Bar charts per group under a shared scale (e.g. one group per
+    scheduler, one bar per co-runner)."""
+    all_values = [
+        value for _, rows in groups for _, value in rows
+    ]
+    if not all_values:
+        return "(no data)"
+    scale = max(all_values)
+    sections = []
+    for title, rows in groups:
+        sections.append(title)
+        sections.append(bar_chart(rows, width=width, unit=unit, max_value=scale))
+    return "\n".join(sections)

@@ -1,0 +1,67 @@
+"""JSON persistence for experiment results.
+
+Experiment drivers return lists of (frozen) dataclasses; this module
+round-trips them to JSON so sweeps can be archived, compared across
+seeds, or post-processed outside the simulator.  Nested dataclasses,
+dicts, and NaN/inf are handled; loading returns plain dicts (the schema
+is the dataclass's field names).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+from typing import Any, Union
+
+
+def _encode(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            **{
+                field.name: _encode(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(key): _encode(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    if isinstance(value, float):
+        if math.isnan(value):
+            return {"__float__": "nan"}
+        if math.isinf(value):
+            return {"__float__": "inf" if value > 0 else "-inf"}
+        return value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    return str(value)  # enums, Paths, and other leaf oddities
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"__float__"}:
+            return float(value["__float__"])
+        return {key: _decode(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode(item) for item in value]
+    return value
+
+
+def save_results(
+    results: Any, path: Union[str, Path], metadata: Union[dict, None] = None
+) -> None:
+    """Write experiment results (plus optional metadata) as JSON."""
+    document = {"metadata": metadata or {}, "results": _encode(results)}
+    Path(path).write_text(json.dumps(document, indent=2, allow_nan=False))
+
+
+def load_results(path: Union[str, Path]) -> dict:
+    """Read a document written by :func:`save_results`."""
+    document = json.loads(Path(path).read_text())
+    return {
+        "metadata": document.get("metadata", {}),
+        "results": _decode(document.get("results")),
+    }

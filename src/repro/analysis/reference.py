@@ -1,0 +1,144 @@
+"""The paper's published numbers as structured, checkable claims.
+
+Each :class:`PaperClaim` captures one quantitative statement from the
+paper with an acceptance band for the reproduction.  Bands are generous
+where DESIGN.md documents a structural deviation, and tight where the
+claim is the paper's headline.  `check_claim` evaluates a measured value;
+`shape_report` renders a scoreboard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One quantitative claim from the paper."""
+
+    key: str
+    section: str
+    statement: str
+    paper_value: float
+    #: Acceptance band for the reproduction, inclusive.
+    low: float
+    high: float
+    unit: str = "x"
+
+    def accepts(self, measured: float) -> bool:
+        return self.low <= measured <= self.high
+
+
+#: The claims the benchmarks and EXPERIMENTS.md check, keyed by name.
+PAPER: dict[str, PaperClaim] = {
+    claim.key: claim
+    for claim in [
+        PaperClaim(
+            key="direct_submit_cycles",
+            section="3",
+            statement="direct doorbell write costs 305 cycles",
+            paper_value=305.0, low=305.0, high=305.0, unit="cycles",
+        ),
+        PaperClaim(
+            key="section3_trap_gain_max",
+            section="3",
+            statement="direct access gains up to 35% over bare traps",
+            paper_value=0.35, low=0.10, high=0.45, unit="fraction",
+        ),
+        PaperClaim(
+            key="section3_driver_gain_max",
+            section="3",
+            statement="direct access gains up to 170% over traps w/ driver work",
+            paper_value=1.70, low=0.80, high=2.20, unit="fraction",
+        ),
+        PaperClaim(
+            key="fig5_engaged_small_slowdown",
+            section="5.2",
+            statement="engaged Timeslice noticeably slows small-request Throttle",
+            paper_value=1.40, low=1.15, high=2.20,
+        ),
+        PaperClaim(
+            key="fig4_dts_max_overhead",
+            section="5.2",
+            statement="Disengaged Timeslice standalone overhead <= ~2%",
+            paper_value=1.02, low=1.00, high=1.08,
+        ),
+        PaperClaim(
+            key="fig4_dfq_max_overhead",
+            section="5.2",
+            statement="Disengaged Fair Queueing standalone overhead <= ~5%",
+            paper_value=1.05, low=1.00, high=1.12,
+        ),
+        PaperClaim(
+            key="fig6_fair_pair_slowdown",
+            section="5.3",
+            statement="co-scheduled compute tasks see the expected ~2x",
+            paper_value=2.0, low=1.5, high=3.2,
+        ),
+        PaperClaim(
+            key="fig6_direct_dct_large_throttle",
+            section="5.3",
+            statement="direct access slows DCT >10x against large Throttle",
+            paper_value=10.0, low=8.0, high=40.0,
+        ),
+        PaperClaim(
+            key="fig7_dfq_mean_loss",
+            section="5.3",
+            statement="DFQ loses 4% on average vs direct access",
+            paper_value=0.04, low=0.0, high=0.10, unit="fraction",
+        ),
+        PaperClaim(
+            key="fig7_dfq_max_loss",
+            section="5.3",
+            statement="DFQ loses at most 18% vs direct access",
+            paper_value=0.18, low=0.0, high=0.20, unit="fraction",
+        ),
+        PaperClaim(
+            key="fig9_dfq_dct_benefits",
+            section="5.4",
+            statement="under DFQ, DCT benefits from a sleeping co-runner",
+            paper_value=1.3, low=1.0, high=1.7,
+        ),
+        PaperClaim(
+            key="fig10_dfq_loss_at_80pct",
+            section="5.4",
+            statement="DFQ's nonsaturating efficiency loss is essentially 0%",
+            paper_value=0.0, low=0.0, high=0.15, unit="fraction",
+        ),
+        PaperClaim(
+            key="dos_context_limit",
+            section="6.3",
+            statement="48 contexts exhaust the GTX670",
+            paper_value=48.0, low=48.0, high=48.0, unit="contexts",
+        ),
+        PaperClaim(
+            key="gears_anomaly_disparity",
+            section="5.3",
+            statement="glxgears completes at ~1/3 Throttle's rate under DFQ",
+            paper_value=3.0, low=1.3, high=6.0,
+        ),
+    ]
+}
+
+
+def check_claim(key: str, measured: float) -> bool:
+    """True if the measured value lands inside the claim's band."""
+    return PAPER[key].accepts(measured)
+
+
+def shape_report(measurements: dict[str, float]) -> str:
+    """Scoreboard: one line per provided measurement vs its claim."""
+    lines = ["paper-claim scoreboard:"]
+    for key, measured in measurements.items():
+        claim = PAPER.get(key)
+        if claim is None:
+            lines.append(f"  {key}: UNKNOWN CLAIM")
+            continue
+        verdict = "ok" if claim.accepts(measured) else "OUT OF BAND"
+        lines.append(
+            f"  {key}: measured {measured:.3g} {claim.unit} "
+            f"(paper {claim.paper_value:.3g}, band "
+            f"[{claim.low:.3g}, {claim.high:.3g}]) -> {verdict}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Timeline extraction from trace recordings.
+
+Build per-task busy intervals from a :class:`~repro.sim.trace.TraceRecorder`
+that captured ``request_submit`` / ``request_complete`` events, compute
+utilization and queueing statistics, and render a coarse ASCII timeline —
+the fastest way to *see* a scheduler's interleaving while debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.trace import TraceRecorder
+
+#: Trace kinds the timeline builder needs.
+TIMELINE_KINDS = ("request_submit", "request_complete")
+
+
+@dataclass(frozen=True)
+class BusyInterval:
+    """One request's service interval on the device."""
+
+    task: str
+    start_us: float
+    end_us: float
+    channel: int
+    ref: int
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass
+class Timeline:
+    """Per-task busy intervals over an observation window."""
+
+    start_us: float
+    end_us: float
+    intervals: list[BusyInterval] = field(default_factory=list)
+
+    @property
+    def span_us(self) -> float:
+        return self.end_us - self.start_us
+
+    def tasks(self) -> list[str]:
+        return sorted({interval.task for interval in self.intervals})
+
+    def busy_us(self, task: Optional[str] = None) -> float:
+        return sum(
+            interval.duration_us
+            for interval in self.intervals
+            if task is None or interval.task == task
+        )
+
+    def utilization(self, task: Optional[str] = None) -> float:
+        """Busy fraction of the window (per task, or overall)."""
+        if self.span_us <= 0:
+            return float("nan")
+        return self.busy_us(task) / self.span_us
+
+    def share(self, task: str) -> float:
+        """The task's fraction of all busy time."""
+        total = self.busy_us()
+        if total <= 0:
+            return float("nan")
+        return self.busy_us(task) / total
+
+
+def build_timeline(
+    trace: TraceRecorder,
+    start_us: float = 0.0,
+    end_us: Optional[float] = None,
+) -> Timeline:
+    """Pair submit/complete events into busy intervals.
+
+    Service start is approximated as max(submit, previous completion on
+    the device) — exact for a single-engine device, which is where
+    timelines are most useful.
+    """
+    completes = [
+        record
+        for record in trace.records(kind="request_complete")
+        if record.time >= start_us and (end_us is None or record.time <= end_us)
+    ]
+    submit_times: dict[tuple[int, int], float] = {}
+    for record in trace.records(kind="request_submit"):
+        key = (record.payload["channel"], record.payload["ref"])
+        submit_times[key] = record.time
+    window_end = end_us
+    if window_end is None:
+        window_end = max((record.time for record in completes), default=start_us)
+    timeline = Timeline(start_us=start_us, end_us=window_end)
+    for record in sorted(completes, key=lambda r: r.time):
+        service = record.payload.get("service_us")
+        end = record.time
+        if service is not None:
+            begin = end - service
+        else:
+            key = (record.payload["channel"], record.payload["ref"])
+            begin = submit_times.get(key, end)
+        timeline.intervals.append(
+            BusyInterval(
+                task=record.payload["task"],
+                start_us=max(begin, start_us),
+                end_us=end,
+                channel=record.payload["channel"],
+                ref=record.payload["ref"],
+            )
+        )
+    return timeline
+
+
+def render_ascii_timeline(timeline: Timeline, width: int = 80) -> str:
+    """One row per task; each column is span/width µs; '#' marks busy."""
+    if width < 10:
+        raise ValueError("width must be at least 10")
+    tasks = timeline.tasks()
+    if not tasks or timeline.span_us <= 0:
+        return "(empty timeline)"
+    label_width = max(len(task) for task in tasks)
+    cell_us = timeline.span_us / width
+    rows = []
+    for task in tasks:
+        cells = [" "] * width
+        for interval in timeline.intervals:
+            if interval.task != task:
+                continue
+            first = int((interval.start_us - timeline.start_us) / cell_us)
+            last = int((interval.end_us - timeline.start_us) / cell_us)
+            for column in range(max(first, 0), min(last + 1, width)):
+                cells[column] = "#"
+        utilization = timeline.utilization(task)
+        rows.append(
+            f"{task.ljust(label_width)} |{''.join(cells)}| "
+            f"{100 * utilization:.0f}%"
+        )
+    header = (
+        f"{' ' * label_width}  {timeline.start_us:.0f}us"
+        f"{' ' * max(1, width - 12)}{timeline.end_us:.0f}us"
+    )
+    return "\n".join([header] + rows)

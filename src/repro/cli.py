@@ -1,0 +1,114 @@
+"""Command-line interface: ``repro <experiment> [--duration-ms N] [--seed N]``.
+
+Runs any paper experiment and prints its table.  ``repro list`` shows the
+catalog; ``repro all`` regenerates everything (slow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.experiments import (
+    ablations,
+    cpu_contention,
+    overhead_breakdown,
+    preemption,
+    sensitivity,
+    figure2,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    protection,
+    section3_throughput,
+    section6_dos,
+    table1,
+)
+
+EXPERIMENTS: dict[str, tuple[Callable[..., str], str]] = {
+    "table1": (table1.main, "benchmark characteristics (round/request sizes)"),
+    "figure2": (figure2.main, "request inter-arrival and service CDFs"),
+    "section3": (
+        section3_throughput.main,
+        "direct-access vs trap-per-request throughput",
+    ),
+    "figure4": (figure4.main, "standalone slowdown per app per scheduler"),
+    "figure5": (figure5.main, "standalone Throttle slowdown vs request size"),
+    "figure6": (figure6.main, "pairwise fairness (app vs Throttle)"),
+    "figure7": (figure7.main, "pairwise concurrency efficiency"),
+    "figure8": (figure8.main, "four-way fairness and efficiency"),
+    "figure9": (figure9.main, "nonsaturating fairness"),
+    "figure10": (figure10.main, "nonsaturating efficiency"),
+    "protection": (protection.main, "infinite-loop kill and greedy batcher"),
+    "section6": (section6_dos.main, "channel-exhaustion DoS and quota defense"),
+    "ablations": (ablations.main, "vendor stats, free-run multiplier, baselines"),
+    "preemption": (
+        preemption.main,
+        "section 6.2 what-if: hardware preemption + runlist masking",
+    ),
+    "breakdown": (
+        overhead_breakdown.main,
+        "where DFQ's overhead goes (drain wait vs sampling)",
+    ),
+    "cpu": (
+        cpu_contention.main,
+        "single-core host: management CPU load (section 5.2 claim)",
+    ),
+    "sensitivity": (
+        sensitivity.main,
+        "configuration-parameter sensitivity (section 5.2 claim)",
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the Disengaged Scheduling (ASPLOS 2014) evaluation.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'list', or 'all'",
+    )
+    parser.add_argument(
+        "--duration-ms",
+        type=float,
+        default=None,
+        help="simulated duration per run in milliseconds (default: per-experiment)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"{name:12s} {description}")
+        return 0
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; try 'repro list'",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        runner, _ = EXPERIMENTS[name]
+        print(f"== {name} ==")
+        kwargs = {"seed": args.seed}
+        if args.duration_ms is not None:
+            kwargs["duration_us"] = args.duration_ms * 1000.0
+        runner(**kwargs)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

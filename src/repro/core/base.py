@@ -1,0 +1,116 @@
+"""Scheduler base class and registry.
+
+A scheduler is attached to a :class:`~repro.osmodel.kernel.Kernel` and from
+then on receives the event-based interface of Section 3: task lifecycle,
+channel activation, request faults (only while a channel is engaged), and
+observed submissions.  All device knowledge flows through the scheduler's
+:class:`~repro.neon.interception.InterceptionManager`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Type
+
+from repro.neon.interception import InterceptionManager
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.channel import Channel
+    from repro.gpu.request import Request
+    from repro.osmodel.kernel import Kernel
+    from repro.osmodel.task import Task
+    from repro.sim.engine import Simulator
+    from repro.sim.events import Event
+
+#: Name → class map used by the experiment runner and the CLI.
+scheduler_registry: dict[str, Type["SchedulerBase"]] = {}
+
+
+def register_scheduler(cls: Type["SchedulerBase"]) -> Type["SchedulerBase"]:
+    """Class decorator adding a scheduler to the registry."""
+    scheduler_registry[cls.name] = cls
+    return cls
+
+
+class SchedulerBase:
+    """Common scaffolding for all schedulers."""
+
+    #: Registry key and display name.
+    name = "base"
+
+    def __init__(self) -> None:
+        self.kernel: Optional["Kernel"] = None
+        self.sim: Optional["Simulator"] = None
+        self.neon: Optional[InterceptionManager] = None
+        #: Tasks currently using the device (have live channels).
+        self.managed_tasks: list["Task"] = []
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach(self, kernel: "Kernel") -> None:
+        """Called by :meth:`Kernel.attach_scheduler`."""
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.costs = kernel.costs
+        self.neon = InterceptionManager(kernel)
+        self.setup()
+
+    def setup(self) -> None:
+        """Subclass hook: spawn scheduler processes, initialize state."""
+
+    # ------------------------------------------------------------------
+    # Task lifecycle
+    # ------------------------------------------------------------------
+    def on_task_start(self, task: "Task") -> None:
+        """A task was created (it may not have channels yet)."""
+
+    def on_task_exit(self, task: "Task") -> None:
+        """A task exited or was killed; default drops it from management."""
+        if task in self.managed_tasks:
+            self.managed_tasks.remove(task)
+        for channel in list(self.neon.channels.values()):
+            if channel.task is task:
+                self.neon.untrack(channel)
+
+    def _manage(self, task: "Task") -> bool:
+        """Add a task to the managed set; True if newly added."""
+        if task in self.managed_tasks or not task.alive:
+            return False
+        self.managed_tasks.append(task)
+        return True
+
+    # ------------------------------------------------------------------
+    # Channel lifecycle
+    # ------------------------------------------------------------------
+    def on_channel_active(self, channel: "Channel") -> None:
+        """NEON discovery finished for a channel; track and decide its
+        initial engagement."""
+        self.neon.track(channel)
+        self._manage(channel.task)
+        self.on_channel_tracked(channel)
+
+    def on_channel_tracked(self, channel: "Channel") -> None:
+        """Subclass hook: set the channel's initial protection state."""
+
+    # ------------------------------------------------------------------
+    # Request events
+    # ------------------------------------------------------------------
+    def on_fault(
+        self, task: "Task", channel: "Channel", request: "Request"
+    ) -> Optional["Event"]:
+        """A protected-page store faulted.
+
+        Return ``None`` to let the request through, or an
+        :class:`~repro.sim.events.Event` the task must wait on; the kernel
+        re-invokes this method after the event fires, until it returns
+        ``None``.
+        """
+        return None
+
+    def on_submit(
+        self, task: "Task", channel: "Channel", request: "Request"
+    ) -> None:
+        """An intercepted submission actually reached the device."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(tasks={len(self.managed_tasks)})"

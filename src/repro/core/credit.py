@@ -1,0 +1,102 @@
+"""Credit scheduler — the Gdev baseline (Section 2).
+
+Gdev [20] realizes fairness with a non-preemptive variant of Xen's Credit
+scheduler: each task holds a credit balance replenished periodically in
+proportion to its share; a task with positive credit submits freely, a
+task that has exhausted its credit blocks until the next replenishment.
+Being non-preemptive, a large request may overdraw the balance; the debt
+is repaid out of future replenishments.  Every request is intercepted and
+its completion watched (per-request engagement).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.base import SchedulerBase, register_scheduler
+from repro.neon.stats import ObservedServiceMeter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.channel import Channel
+    from repro.gpu.request import Request
+    from repro.osmodel.task import Task
+    from repro.sim.events import Event
+
+
+@register_scheduler
+class CreditScheduler(SchedulerBase):
+    """Non-preemptive credit-based fair sharing."""
+
+    name = "credit"
+
+    #: Replenishment period (µs).
+    period_us = 10_000.0
+    #: Maximum banked credit, as a multiple of one period's share.
+    bank_cap_periods = 2.0
+
+    def setup(self) -> None:
+        # Fine-grained completion observation, as in engaged SFQ.
+        self.kernel.polling.set_interval(self.costs.sampling_poll_interval_us)
+        self._credit: dict[int, float] = {}
+        self._waiters: dict[int, list["Event"]] = {}
+        self._meter = ObservedServiceMeter()
+        self.replenishments = 0
+        self.sim.spawn(self._replenisher(), name=f"{self.name}-scheduler")
+
+    # ------------------------------------------------------------------
+    # Event interface
+    # ------------------------------------------------------------------
+    def on_channel_tracked(self, channel: "Channel") -> None:
+        channel.register_page.protect()
+        self._credit.setdefault(channel.task.task_id, 0.0)
+
+    def on_fault(
+        self, task: "Task", channel: "Channel", request: "Request"
+    ) -> Optional["Event"]:
+        if self._credit.get(task.task_id, 0.0) > 0.0:
+            return None
+        event = self.sim.event()
+        self._waiters.setdefault(task.task_id, []).append(event)
+        return event
+
+    def on_submit(
+        self, task: "Task", channel: "Channel", request: "Request"
+    ) -> None:
+        submit_time = self.sim.now
+
+        def on_completion(observed: "Channel") -> None:
+            service = self._meter.measure(
+                observed.channel_id, submit_time, self.sim.now
+            )
+            self._credit[task.task_id] = (
+                self._credit.get(task.task_id, 0.0) - service
+            )
+
+        self.kernel.polling.watch(channel, request.ref, on_completion)
+
+    def on_task_exit(self, task: "Task") -> None:
+        super().on_task_exit(task)
+        self._credit.pop(task.task_id, None)
+        for event in self._waiters.pop(task.task_id, []):
+            if not event.triggered:
+                event.trigger()
+
+    # ------------------------------------------------------------------
+    # Replenishment
+    # ------------------------------------------------------------------
+    def _replenisher(self):
+        while True:
+            yield self.period_us
+            sharers = [task for task in self.managed_tasks if task.alive]
+            if not sharers:
+                continue
+            self.replenishments += 1
+            share = self.period_us / len(sharers)
+            cap = self.bank_cap_periods * share
+            for task in sharers:
+                balance = self._credit.get(task.task_id, 0.0) + share
+                self._credit[task.task_id] = min(balance, cap)
+                if self._credit[task.task_id] > 0.0:
+                    for event in self._waiters.pop(task.task_id, []):
+                        if not event.triggered:
+                            event.trigger()

@@ -1,0 +1,22 @@
+"""Direct device access — the unmanaged baseline.
+
+No page is ever protected; every submission is a bare MMIO write.  This is
+today's default (Figure 1) and the performance reference every other
+scheduler is compared against.  It provides no fairness: device time is
+divided by the hardware's per-request round-robin, so whoever submits the
+larger requests wins (Figure 6, leftmost column).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import SchedulerBase, register_scheduler
+
+
+@register_scheduler
+class DirectAccess(SchedulerBase):
+    """The no-op scheduler: full direct access for everyone."""
+
+    name = "direct"
+
+    def on_channel_tracked(self, channel) -> None:
+        channel.register_page.unprotect()

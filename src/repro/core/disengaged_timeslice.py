@@ -1,0 +1,60 @@
+"""Disengaged Timeslice (§3.2).
+
+Same token-based fairness as :class:`~repro.core.timeslice.TimesliceScheduler`,
+but the token holder's register pages are *unprotected* for the duration of
+its slice — its requests flow at direct-access speed.  The kernel
+re-engages at slice boundaries: protect everything, scan the in-memory
+structures for the last submitted reference numbers, and poll the
+reference counters until the holder drains (the post-re-engagement status
+update of Section 4).  Overuse control and runaway-kill protection are
+identical to the engaged variant.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.base import register_scheduler
+from repro.core.timeslice import TimesliceScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.channel import Channel
+
+
+@register_scheduler
+class DisengagedTimeslice(TimesliceScheduler):
+    """Timeslice scheduling with direct access inside each slice."""
+
+    name = "disengaged-timeslice"
+
+    def on_channel_tracked(self, channel: "Channel") -> None:
+        # Channels of the current holder may appear mid-slice; they get
+        # direct access immediately, everyone else is intercepted.
+        if channel.task is self.token_holder:
+            channel.register_page.unprotect()
+        else:
+            channel.register_page.protect()
+            if self.neon.preemption_available:
+                channel.masked = True
+        if self._activation is not None and not self._activation.triggered:
+            self._activation.trigger()
+
+    def _loop(self):
+        while True:
+            task = self._pick()
+            if task is None:
+                self._activation = self.sim.event()
+                yield self._activation
+                self._activation = None
+                continue
+            # Disengage the new holder: page-table updates to restore its
+            # direct mappings (everyone else is already protected).
+            flips = self.neon.disengage_task(task)
+            yield self.costs.page_flip_us + self.neon.flip_cost(flips)
+            self._grant(task)
+            yield self.costs.timeslice_us
+            # Re-engage: protect every register page, then settle accounts.
+            self.token_holder = None
+            flips = self.neon.engage_all()
+            yield self.neon.flip_cost(flips)
+            yield from self._settle_slice(task)

@@ -1,0 +1,171 @@
+"""Deficit round-robin — the GERM baseline (Section 2).
+
+GERM [11] achieves fair-share GPU allocation with a deficit round-robin
+scheduler [34] over per-task command queues.  Here each task's intercepted
+requests wait in a FIFO; a scheduler process cycles among backlogged
+tasks, granting each a quantum of device time per round and releasing
+requests while the task's deficit covers their estimated size.  Every
+request is intercepted and its completion watched — per-request kernel
+cost on the fast path, like all pre-disengagement schedulers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.base import SchedulerBase, register_scheduler
+from repro.neon.stats import ObservedServiceMeter, RequestSizeEstimator
+from repro.sim.events import AnyOf
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.channel import Channel
+    from repro.gpu.request import Request
+    from repro.osmodel.task import Task
+    from repro.sim.events import Event
+
+DEFAULT_SIZE_GUESS_US = 100.0
+
+
+@register_scheduler
+class DeficitRoundRobin(SchedulerBase):
+    """Per-request deficit round-robin over task FIFOs."""
+
+    name = "drr"
+
+    #: Device time granted per task per round (µs).  GERM favours small
+    #: quanta: a large quantum makes think-time tasks wait out their
+    #: peers' full bursts.
+    quantum_us = 500.0
+
+    #: Wait this long after a completion for the closed-loop task to
+    #: resubmit before concluding its queue is empty (anticipatory
+    #: scheduling; see EngagedFairQueueing.anticipation_us).
+    anticipation_us = 10.0
+
+    #: Completion-observation period (µs); see EngagedFairQueueing.
+    completion_poll_us = 5.0
+
+    def setup(self) -> None:
+        # Fine-grained completion observation, as in engaged SFQ.
+        self.kernel.polling.set_interval(self.completion_poll_us)
+        self._queues: dict[int, deque] = {}
+        self._deficit: dict[int, float] = {}
+        self._released: set[int] = set()
+        self._completion_events: dict[int, "Event"] = {}
+        self._meter = ObservedServiceMeter()
+        self._sizes: dict[int, RequestSizeEstimator] = {}
+        self._activation: Optional["Event"] = None
+        self._rr_index = 0
+        self.rounds = 0
+        self.sim.spawn(self._loop(), name=f"{self.name}-scheduler")
+
+    # ------------------------------------------------------------------
+    # Event interface
+    # ------------------------------------------------------------------
+    def on_channel_tracked(self, channel: "Channel") -> None:
+        channel.register_page.protect()
+        self._sizes[channel.channel_id] = RequestSizeEstimator()
+
+    def on_fault(
+        self, task: "Task", channel: "Channel", request: "Request"
+    ) -> Optional["Event"]:
+        if request.request_id in self._released:
+            return None
+        event = self.sim.event()
+        queue = self._queues.setdefault(task.task_id, deque())
+        queue.append((channel, request, event))
+        if self._activation is not None and not self._activation.triggered:
+            self._activation.trigger()
+        return event
+
+    def on_submit(
+        self, task: "Task", channel: "Channel", request: "Request"
+    ) -> None:
+        self._released.discard(request.request_id)
+        submit_time = self.sim.now
+        done = self._completion_events.get(request.request_id)
+
+        def on_completion(observed: "Channel") -> None:
+            service = self._meter.measure(
+                observed.channel_id, submit_time, self.sim.now
+            )
+            estimator = self._sizes.get(observed.channel_id)
+            if estimator is not None:
+                estimator.record(service)
+            self._deficit[task.task_id] = (
+                self._deficit.get(task.task_id, 0.0) - service
+            )
+            if done is not None and not done.triggered:
+                done.trigger()
+
+        self.kernel.polling.watch(channel, request.ref, on_completion)
+
+    def on_task_exit(self, task: "Task") -> None:
+        super().on_task_exit(task)
+        for channel, request, event in self._queues.pop(task.task_id, ()):  # noqa: B007
+            self._released.add(request.request_id)
+            if not event.triggered:
+                event.trigger()
+        self._deficit.pop(task.task_id, None)
+
+    # ------------------------------------------------------------------
+    # The round-robin loop
+    # ------------------------------------------------------------------
+    def _estimate(self, channel: "Channel") -> float:
+        estimator = self._sizes.get(channel.channel_id)
+        if estimator is None or estimator.mean is None:
+            return DEFAULT_SIZE_GUESS_US
+        return estimator.mean
+
+    def _backlogged(self) -> list["Task"]:
+        return [
+            task
+            for task in self.managed_tasks
+            if task.alive and self._queues.get(task.task_id)
+        ]
+
+    def _loop(self):
+        while True:
+            backlogged = self._backlogged()
+            if not backlogged:
+                self._activation = self.sim.event()
+                yield self._activation
+                self._activation = None
+                continue
+            self.rounds += 1
+            task = backlogged[self._rr_index % len(backlogged)]
+            self._rr_index += 1
+            deficit = self._deficit.get(task.task_id, 0.0) + self.quantum_us
+            self._deficit[task.task_id] = deficit
+            yield from self._serve(task)
+            if not self._queues.get(task.task_id):
+                # An emptied queue forfeits its leftover deficit (DRR rule).
+                self._deficit[task.task_id] = 0.0
+
+    def _serve(self, task: "Task"):
+        queue = self._queues.get(task.task_id)
+        while queue and task.alive:
+            channel, request, event = queue[0]
+            if self._estimate(channel) > self._deficit.get(task.task_id, 0.0):
+                break
+            queue.popleft()
+            done = self.sim.event()
+            self._completion_events[request.request_id] = done
+            self._released.add(request.request_id)
+            if not event.triggered:
+                event.trigger()
+            deadline = self.sim.event()
+            timer = self.sim.schedule(self.costs.max_request_us, deadline.trigger)
+            first = yield AnyOf(self.sim, [done, deadline])
+            self._completion_events.pop(request.request_id, None)
+            if first is done:
+                timer.cancel()
+                # Give the task a beat to resubmit so its deficit can be
+                # spent on consecutive requests (closed-loop anticipation).
+                yield self.anticipation_us
+            else:
+                self.kernel.kill_task(
+                    task, "request exceeded the documented maximum run time"
+                )
+                return

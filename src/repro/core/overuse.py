@@ -1,0 +1,48 @@
+"""Overuse accounting shared by the timeslice schedulers (Section 3.1).
+
+A task whose requests overrun the end of its timeslice is charged the
+excess; once accrued overuse exceeds a full timeslice, the task's next
+turn is skipped and one timeslice is deducted.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.osmodel.task import Task
+
+
+class OveruseLedger:
+    """Tracks accrued overuse per task and implements turn skipping."""
+
+    def __init__(self, timeslice_us: float) -> None:
+        if timeslice_us <= 0:
+            raise ValueError("timeslice must be positive")
+        self.timeslice_us = timeslice_us
+        self._accrued: dict[int, float] = {}
+
+    def charge(self, task: "Task", excess_us: float) -> None:
+        """Add excess execution time observed past a slice boundary."""
+        if excess_us < 0:
+            raise ValueError("overuse charge must be non-negative")
+        self._accrued[task.task_id] = self.accrued(task) + excess_us
+
+    def accrued(self, task: "Task") -> float:
+        return self._accrued.get(task.task_id, 0.0)
+
+    def should_skip(self, task: "Task") -> bool:
+        """True if the task's next turn must be skipped.
+
+        Deducts one timeslice from the accrued overuse when skipping, per
+        the paper: "we skip the task's next turn to hold the token, and
+        subtract a timeslice from its accrued overuse."
+        """
+        accrued = self.accrued(task)
+        if accrued >= self.timeslice_us:
+            self._accrued[task.task_id] = accrued - self.timeslice_us
+            return True
+        return False
+
+    def forget(self, task: "Task") -> None:
+        self._accrued.pop(task.task_id, None)

@@ -1,0 +1,136 @@
+"""Reservation scheduling with posterior enforcement — the TimeGraph
+baseline (Section 2).
+
+TimeGraph [19] "supports fairness by penalizing overuse beyond a
+reservation": requests are admitted optimistically, actual usage is
+accounted afterwards, and a task found to have exceeded its reserved share
+is blocked until its budget recovers.  Reservations here are fractions of
+device time per accounting period; unnamed tasks split the unreserved
+remainder evenly.  Like all pre-disengagement designs, every request is
+intercepted.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.base import SchedulerBase, register_scheduler
+from repro.neon.stats import ObservedServiceMeter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.channel import Channel
+    from repro.gpu.request import Request
+    from repro.osmodel.task import Task
+    from repro.sim.events import Event
+
+
+@register_scheduler
+class TimeGraphReservation(SchedulerBase):
+    """Per-task reservations with posterior overuse penalties."""
+
+    name = "timegraph"
+
+    #: Accounting period (µs).
+    period_us = 10_000.0
+
+    #: Completion-observation period; see EngagedFairQueueing.
+    completion_poll_us = 5.0
+
+    #: Maximum debt, as a fraction of one period's reservation, before a
+    #: task is penalized (posterior enforcement admits the request that
+    #: crosses the line, then blocks).
+    max_debt_fraction = 1.0
+
+    def __init__(self, reservations: Optional[dict[str, float]] = None) -> None:
+        super().__init__()
+        #: Task name -> reserved fraction of device time.  Tasks not named
+        #: share the remainder equally.
+        self.reservations = dict(reservations or {})
+
+    def setup(self) -> None:
+        self.kernel.polling.set_interval(self.completion_poll_us)
+        self._budget: dict[int, float] = {}
+        self._waiters: dict[int, list["Event"]] = {}
+        self._meter = ObservedServiceMeter()
+        self.penalties = 0
+        self.sim.spawn(self._replenisher(), name=f"{self.name}-scheduler")
+
+    # ------------------------------------------------------------------
+    # Shares
+    # ------------------------------------------------------------------
+    def share_of(self, task: "Task") -> float:
+        """The task's reserved fraction of device time."""
+        if task.name in self.reservations:
+            return self.reservations[task.name]
+        reserved = sum(
+            self.reservations.get(peer.name, 0.0)
+            for peer in self.managed_tasks
+            if peer.alive
+        )
+        unreserved_tasks = sum(
+            1
+            for peer in self.managed_tasks
+            if peer.alive and peer.name not in self.reservations
+        )
+        if unreserved_tasks == 0:
+            return 0.0
+        return max(0.0, 1.0 - reserved) / unreserved_tasks
+
+    # ------------------------------------------------------------------
+    # Event interface
+    # ------------------------------------------------------------------
+    def on_channel_tracked(self, channel: "Channel") -> None:
+        channel.register_page.protect()
+        self._budget.setdefault(channel.task.task_id, 0.0)
+
+    def on_fault(
+        self, task: "Task", channel: "Channel", request: "Request"
+    ) -> Optional["Event"]:
+        debt_limit = -self.max_debt_fraction * self.share_of(task) * self.period_us
+        if self._budget.get(task.task_id, 0.0) > debt_limit:
+            return None
+        self.penalties += 1
+        event = self.sim.event()
+        self._waiters.setdefault(task.task_id, []).append(event)
+        return event
+
+    def on_submit(
+        self, task: "Task", channel: "Channel", request: "Request"
+    ) -> None:
+        submit_time = self.sim.now
+
+        def on_completion(observed: "Channel") -> None:
+            service = self._meter.measure(
+                observed.channel_id, submit_time, self.sim.now
+            )
+            self._budget[task.task_id] = (
+                self._budget.get(task.task_id, 0.0) - service
+            )
+
+        self.kernel.polling.watch(channel, request.ref, on_completion)
+
+    def on_task_exit(self, task: "Task") -> None:
+        super().on_task_exit(task)
+        self._budget.pop(task.task_id, None)
+        for event in self._waiters.pop(task.task_id, []):
+            if not event.triggered:
+                event.trigger()
+
+    # ------------------------------------------------------------------
+    # Budget replenishment
+    # ------------------------------------------------------------------
+    def _replenisher(self):
+        while True:
+            yield self.period_us
+            for task in self.managed_tasks:
+                if not task.alive:
+                    continue
+                grant = self.share_of(task) * self.period_us
+                balance = self._budget.get(task.task_id, 0.0) + grant
+                # Reservations do not bank across periods beyond one grant.
+                self._budget[task.task_id] = min(balance, grant)
+                debt_limit = -self.max_debt_fraction * grant
+                if self._budget[task.task_id] > debt_limit:
+                    for event in self._waiters.pop(task.task_id, []):
+                        if not event.triggered:
+                            event.trigger()

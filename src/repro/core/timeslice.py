@@ -1,0 +1,141 @@
+"""Timeslice with overuse control — the fully engaged scheduler (§3.1).
+
+A token circulates among managed tasks; only the holder's requests are
+allowed through, and *every* request is intercepted (all register pages
+stay protected at all times).  At each slice boundary the scheduler waits
+for the holder's outstanding requests to drain, charges the excess to the
+holder's overuse ledger, and kills the holder if a request appears to run
+away.  Fairness is guaranteed; the price is per-request interception cost
+and non-work-conserving idling when the holder has no work.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.base import SchedulerBase, register_scheduler
+from repro.core.overuse import OveruseLedger
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.channel import Channel
+    from repro.gpu.request import Request
+    from repro.osmodel.task import Task
+    from repro.sim.events import Event
+
+
+@register_scheduler
+class TimesliceScheduler(SchedulerBase):
+    """Token-based timeslicing with per-request interception."""
+
+    name = "timeslice"
+
+    def setup(self) -> None:
+        self.token_holder: Optional["Task"] = None
+        self.overuse = OveruseLedger(self.costs.timeslice_us)
+        self._waiters: dict[int, list["Event"]] = {}
+        self._rr_index = 0
+        self._activation: Optional["Event"] = None
+        self.slices_granted = 0
+        self.sim.spawn(self._loop(), name=f"{self.name}-scheduler")
+
+    # ------------------------------------------------------------------
+    # Event interface
+    # ------------------------------------------------------------------
+    def on_channel_tracked(self, channel: "Channel") -> None:
+        channel.register_page.protect()  # engaged: intercept everything
+        if self.neon.preemption_available and channel.task is not self.token_holder:
+            channel.masked = True  # park until the task's next slice
+        if self._activation is not None and not self._activation.triggered:
+            self._activation.trigger()
+
+    def on_fault(
+        self, task: "Task", channel: "Channel", request: "Request"
+    ) -> Optional["Event"]:
+        if task is self.token_holder:
+            return None
+        event = self.sim.event()
+        self._waiters.setdefault(task.task_id, []).append(event)
+        return event
+
+    def on_task_exit(self, task: "Task") -> None:
+        super().on_task_exit(task)
+        self.overuse.forget(task)
+        if task is self.token_holder:
+            self.token_holder = None
+        self._release_waiters(task)
+
+    # ------------------------------------------------------------------
+    # Token machinery
+    # ------------------------------------------------------------------
+    def _release_waiters(self, task: "Task") -> None:
+        events = self._waiters.pop(task.task_id, [])
+        for event in events:
+            if not event.triggered:
+                event.trigger()
+
+    def _pick(self) -> Optional["Task"]:
+        """Round-robin over managed tasks, honoring overuse skips."""
+        candidates = [task for task in self.managed_tasks if task.alive]
+        if not candidates:
+            return None
+        for _ in range(len(candidates)):
+            task = candidates[self._rr_index % len(candidates)]
+            self._rr_index += 1
+            if self.overuse.should_skip(task):
+                continue
+            return task
+        # Everyone owes at least a slice; after deducting above, just take
+        # the next in order rather than idling the device forever.
+        task = candidates[self._rr_index % len(candidates)]
+        self._rr_index += 1
+        return task
+
+    def _grant(self, task: "Task") -> None:
+        self.token_holder = task
+        self.slices_granted += 1
+        if self.neon.preemption_available:
+            self.neon.unmask_task(task)  # reinstate on the runlist
+        self._release_waiters(task)
+
+    # ------------------------------------------------------------------
+    # The scheduling loop
+    # ------------------------------------------------------------------
+    def _loop(self):
+        while True:
+            task = self._pick()
+            if task is None:
+                self._activation = self.sim.event()
+                yield self._activation
+                self._activation = None
+                continue
+            yield self.costs.page_flip_us  # token-pass bookkeeping
+            self._grant(task)
+            yield self.costs.timeslice_us
+            self.token_holder = None
+            yield from self._settle_slice(task)
+
+    def _settle_slice(self, task: "Task"):
+        """End-of-slice: drain the holder, charge overuse, kill runaways.
+
+        With hardware preemption (§6.2), in-flight work is saved and the
+        task's channels parked instead: no drain wait, no overuse, and
+        requests of arbitrary length — including infinite loops — are
+        tolerated rather than killed.
+        """
+        if self.neon.preemption_available:
+            self.neon.preempt_task(task)
+            self.neon.mask_task(task)
+            return
+        slice_end = self.sim.now
+        channels = self.neon.channels_of(task)
+        if not channels:
+            return
+        result = yield from self.neon.drain(
+            channels, timeout_us=self.costs.max_request_us
+        )
+        if not result.drained:
+            self.kernel.kill_task(
+                task, "request exceeded the documented maximum run time"
+            )
+            return
+        self.overuse.charge(task, self.sim.now - slice_end)

@@ -1,0 +1,65 @@
+"""Virtual-time bookkeeping for fair queueing schedulers.
+
+Implements the paper's probabilistically-updated per-task virtual time
+(Section 3.3): each task carries a cumulative-usage surrogate; the
+system-wide virtual time tracks the *oldest* virtual time among active
+tasks, and inactive tasks are pulled forward so idle periods forfeit any
+banked resource claim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class VirtualTimeTable:
+    """Per-task virtual times plus the system-wide virtual time."""
+
+    def __init__(self) -> None:
+        self._vt: dict[int, float] = {}
+        self.system_vt = 0.0
+
+    def ensure(self, task_id: int) -> float:
+        """Register a task, starting it at the current system virtual time
+        (a newcomer owes and is owed nothing)."""
+        if task_id not in self._vt:
+            self._vt[task_id] = self.system_vt
+        return self._vt[task_id]
+
+    def get(self, task_id: int) -> float:
+        return self._vt.get(task_id, self.system_vt)
+
+    def advance(self, task_id: int, usage_us: float) -> None:
+        """Step 1: add an active task's resource use for the last interval."""
+        if usage_us < 0:
+            raise ValueError("usage must be non-negative")
+        self.ensure(task_id)
+        self._vt[task_id] += usage_us
+
+    def update_system(self, active_ids: Iterable[int]) -> float:
+        """Advance the system virtual time to the oldest active task's time.
+
+        With no active tasks the system time is left unchanged.  The system
+        virtual time never moves backwards.
+        """
+        candidates = [self.get(task_id) for task_id in active_ids]
+        if candidates:
+            self.system_vt = max(self.system_vt, min(candidates))
+        return self.system_vt
+
+    def lift_inactive(self, task_id: int) -> None:
+        """Step 2: pull an inactive task forward to the system virtual time
+        so it cannot hoard unused resources."""
+        self.ensure(task_id)
+        if self._vt[task_id] < self.system_vt:
+            self._vt[task_id] = self.system_vt
+
+    def lag(self, task_id: int) -> float:
+        """How far ahead of the system virtual time a task is (µs)."""
+        return self.get(task_id) - self.system_vt
+
+    def forget(self, task_id: int) -> None:
+        self._vt.pop(task_id, None)
+
+    def __len__(self) -> int:
+        return len(self._vt)

@@ -1,0 +1,8 @@
+"""Shared exception types (dependency-free, importable from anywhere)."""
+
+from __future__ import annotations
+
+
+class OutOfResourcesError(RuntimeError):
+    """Raised when context/channel allocation exhausts the device, or a
+    quota policy refuses an allocation (Section 6.3)."""

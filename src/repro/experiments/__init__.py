@@ -1,0 +1,30 @@
+"""Experiment drivers — one module per paper table/figure.
+
+Every driver exposes a ``run(...)`` function returning structured results
+and a ``main()`` that prints the paper-style table; the CLI
+(``python -m repro <experiment>``) dispatches to them.  Durations default
+to values long enough for steady state but can be shrunk for quick runs
+(the benchmarks do exactly that).
+"""
+
+from repro.experiments.runner import (
+    SeedSweepStats,
+    SimulationEnv,
+    WorkloadResult,
+    build_env,
+    measure,
+    run_workloads,
+    solo_baseline,
+    sweep_seeds,
+)
+
+__all__ = [
+    "SeedSweepStats",
+    "SimulationEnv",
+    "WorkloadResult",
+    "build_env",
+    "measure",
+    "run_workloads",
+    "solo_baseline",
+    "sweep_seeds",
+]

@@ -1,0 +1,197 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* **Vendor statistics (dfq-hw)** — Sections 3.3/6.1 argue DFQ's residual
+  unfairness for graphics/multi-channel tasks stems from software
+  request-size estimation; with hardware usage counters the glxgears
+  anomaly should disappear.
+* **Free-run multiplier** — the engagement/free-run duty cycle trades
+  overhead against how quickly imbalance is corrected.
+* **Related-work baselines** — per-request SFQ, deficit round robin
+  (GERM), and credit scheduling (Gdev) achieve fairness but pay per-request
+  interception, like engaged Timeslice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.runner import measure, solo_baseline
+from repro.metrics.tables import format_table
+from repro.osmodel.costs import CostParams
+from repro.workloads.apps import make_app
+from repro.workloads.throttle import Throttle
+
+
+@dataclass(frozen=True)
+class AnomalyOutcome:
+    """glxgears vs small Throttle under sampling-based vs hardware DFQ."""
+
+    scheduler: str
+    gears_slowdown: float
+    throttle_slowdown: float
+
+    @property
+    def disparity(self) -> float:
+        """How much worse glxgears fares than Throttle (1.0 = even)."""
+        return self.gears_slowdown / self.throttle_slowdown
+
+
+def run_hw_stats(
+    duration_us: float = 500_000.0,
+    warmup_us: float = 80_000.0,
+    seed: int = 0,
+    throttle_size_us: float = 19.0,
+) -> list[AnomalyOutcome]:
+    gears_factory = lambda: make_app("glxgears")
+    throttle_factory = lambda: Throttle(throttle_size_us, name="throttle")
+    gears_base = solo_baseline(gears_factory, duration_us, warmup_us, seed)
+    throttle_base = solo_baseline(throttle_factory, duration_us, warmup_us, seed)
+    outcomes = []
+    for scheduler in ("dfq", "dfq-hw"):
+        results = measure(
+            scheduler, [gears_factory, throttle_factory], duration_us, warmup_us, seed
+        )
+        outcomes.append(
+            AnomalyOutcome(
+                scheduler=scheduler,
+                gears_slowdown=results["glxgears"].rounds.mean_us
+                / gears_base.rounds.mean_us,
+                throttle_slowdown=results["throttle"].rounds.mean_us
+                / throttle_base.rounds.mean_us,
+            )
+        )
+    return outcomes
+
+
+@dataclass(frozen=True)
+class MultiplierOutcome:
+    multiplier: float
+    standalone_overhead: float
+    app_slowdown: float
+    throttle_slowdown: float
+
+
+def run_freerun_multiplier(
+    duration_us: float = 500_000.0,
+    warmup_us: float = 80_000.0,
+    seed: int = 0,
+    multipliers: Sequence[float] = (2.0, 5.0, 10.0),
+) -> list[MultiplierOutcome]:
+    app_factory = lambda: make_app("DCT")
+    throttle_factory = lambda: Throttle(1700.0, name="throttle")
+    app_base = solo_baseline(app_factory, duration_us, warmup_us, seed)
+    throttle_base = solo_baseline(throttle_factory, duration_us, warmup_us, seed)
+    outcomes = []
+    for multiplier in multipliers:
+        costs = CostParams()
+        costs.freerun_multiplier = multiplier
+        solo = measure(
+            "dfq", [app_factory], duration_us, warmup_us, seed, costs=costs
+        )
+        pair = measure(
+            "dfq",
+            [app_factory, throttle_factory],
+            duration_us,
+            warmup_us,
+            seed,
+            costs=costs,
+        )
+        outcomes.append(
+            MultiplierOutcome(
+                multiplier=multiplier,
+                standalone_overhead=solo["DCT"].rounds.mean_us
+                / app_base.rounds.mean_us
+                - 1.0,
+                app_slowdown=pair["DCT"].rounds.mean_us / app_base.rounds.mean_us,
+                throttle_slowdown=pair["throttle"].rounds.mean_us
+                / throttle_base.rounds.mean_us,
+            )
+        )
+    return outcomes
+
+
+@dataclass(frozen=True)
+class BaselineOutcome:
+    scheduler: str
+    app_slowdown: float
+    throttle_slowdown: float
+    app_standalone_overhead: float
+
+
+def run_baseline_schedulers(
+    duration_us: float = 400_000.0,
+    warmup_us: float = 60_000.0,
+    seed: int = 0,
+    schedulers: Sequence[str] = ("engaged-fq", "drr", "credit", "dfq"),
+) -> list[BaselineOutcome]:
+    app_factory = lambda: make_app("DCT")
+    throttle_factory = lambda: Throttle(500.0, name="throttle")
+    app_base = solo_baseline(app_factory, duration_us, warmup_us, seed)
+    throttle_base = solo_baseline(throttle_factory, duration_us, warmup_us, seed)
+    outcomes = []
+    for scheduler in schedulers:
+        solo = measure(scheduler, [app_factory], duration_us, warmup_us, seed)
+        pair = measure(
+            scheduler,
+            [app_factory, throttle_factory],
+            duration_us,
+            warmup_us,
+            seed,
+        )
+        outcomes.append(
+            BaselineOutcome(
+                scheduler=scheduler,
+                app_slowdown=pair["DCT"].rounds.mean_us / app_base.rounds.mean_us,
+                throttle_slowdown=pair["throttle"].rounds.mean_us
+                / throttle_base.rounds.mean_us,
+                app_standalone_overhead=solo["DCT"].rounds.mean_us
+                / app_base.rounds.mean_us
+                - 1.0,
+            )
+        )
+    return outcomes
+
+
+def main(duration_us: float = 500_000.0, seed: int = 0) -> str:
+    hw = run_hw_stats(duration_us=duration_us, seed=seed)
+    hw_table = format_table(
+        ["scheduler", "glxgears slowdown", "throttle slowdown", "disparity"],
+        [[o.scheduler, o.gears_slowdown, o.throttle_slowdown, o.disparity] for o in hw],
+        title="Ablation: vendor statistics fix the glxgears anomaly "
+        "(dfq-hw disparity should be near 1.0)",
+    )
+    multipliers = run_freerun_multiplier(duration_us=duration_us, seed=seed)
+    multiplier_table = format_table(
+        ["free-run multiplier", "standalone overhead", "DCT slowdown", "throttle slowdown"],
+        [
+            [
+                o.multiplier,
+                f"{100 * o.standalone_overhead:.1f}%",
+                o.app_slowdown,
+                o.throttle_slowdown,
+            ]
+            for o in multipliers
+        ],
+        title="Ablation: free-run multiplier (overhead vs responsiveness)",
+    )
+    baselines = run_baseline_schedulers(duration_us=min(duration_us, 400_000.0), seed=seed)
+    baseline_table = format_table(
+        ["scheduler", "DCT slowdown", "throttle slowdown", "standalone overhead"],
+        [
+            [
+                o.scheduler,
+                o.app_slowdown,
+                o.throttle_slowdown,
+                f"{100 * o.app_standalone_overhead:.1f}%",
+            ]
+            for o in baselines
+        ],
+        title="Ablation: related-work per-request schedulers vs DFQ",
+    )
+    print(hw_table)
+    print()
+    print(multiplier_table)
+    print()
+    print(baseline_table)
+    return "\n\n".join([hw_table, multiplier_table, baseline_table])

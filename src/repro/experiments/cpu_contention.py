@@ -1,0 +1,96 @@
+"""Host-CPU load of OS-level GPU management (§5.2's single-CPU question).
+
+The paper asserts the polling-thread frequency is "fast enough for the
+average request size, but not enough to impose a noticeable load even for
+single-CPU systems."  With the finite CPU pool enabled, this experiment
+measures each scheduler's standalone slowdown when *all* host work —
+application think time, fault handlers, polling passes — shares a single
+core, and reports where the core's cycles went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.runner import build_env, run_workloads
+from repro.metrics.tables import format_table
+from repro.osmodel.costs import CostParams
+from repro.workloads.apps import make_app
+
+SCHEDULERS = ("direct", "timeslice", "disengaged-timeslice", "dfq")
+
+
+@dataclass(frozen=True)
+class CpuContentionRow:
+    scheduler: str
+    uncontended_round_us: float
+    single_core_round_us: float
+    polling_cpu_us: float
+    app_cpu_us: float
+
+    @property
+    def single_core_penalty(self) -> float:
+        """Extra slowdown from sharing one host core."""
+        return self.single_core_round_us / self.uncontended_round_us - 1.0
+
+
+def run(
+    duration_us: float = 300_000.0,
+    warmup_us: float = 50_000.0,
+    seed: int = 0,
+    schedulers: Sequence[str] = SCHEDULERS,
+    app: str = "DCT",
+) -> list[CpuContentionRow]:
+    rows = []
+    for scheduler in schedulers:
+        baseline_env = build_env(scheduler, seed=seed)
+        baseline = make_app(app)
+        run_workloads(baseline_env, [baseline], duration_us, warmup_us)
+
+        costs = CostParams()
+        costs.cpu_cores = 1
+        contended_env = build_env(scheduler, seed=seed, costs=costs)
+        contended = make_app(app)
+        run_workloads(contended_env, [contended], duration_us, warmup_us)
+
+        pool = contended_env.kernel.cpu
+        rows.append(
+            CpuContentionRow(
+                scheduler=scheduler,
+                uncontended_round_us=baseline.round_stats(warmup_us).mean_us,
+                single_core_round_us=contended.round_stats(warmup_us).mean_us,
+                polling_cpu_us=pool.owner_usage("polling"),
+                app_cpu_us=pool.owner_usage(app),
+            )
+        )
+    return rows
+
+
+def main(duration_us: float = 300_000.0, seed: int = 0) -> str:
+    rows = run(duration_us=duration_us, seed=seed)
+    table = format_table(
+        [
+            "scheduler",
+            "round uncontended (us)",
+            "round 1-core (us)",
+            "1-core penalty",
+            "polling CPU (us)",
+            "app CPU (us)",
+        ],
+        [
+            [
+                row.scheduler,
+                row.uncontended_round_us,
+                row.single_core_round_us,
+                f"{100 * row.single_core_penalty:.1f}%",
+                row.polling_cpu_us,
+                row.app_cpu_us,
+            ]
+            for row in rows
+        ],
+        title="Single-core host: management load on application rounds "
+        "(paper: polling imposes no noticeable load)",
+    )
+    print(table)
+    return table

@@ -1,0 +1,106 @@
+"""Figure 2 — CDFs of request inter-arrival and service periods.
+
+Standalone runs of the three interactive applications (glxgears,
+oclParticles, simpleTexture3D) under direct access; the paper's headline
+is that a large share of requests are short and submitted back-to-back.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.runner import build_env, run_workloads
+from repro.metrics.cdf import Cdf, log2_bin_histogram
+from repro.metrics.tables import format_table
+from repro.workloads.apps import make_app
+
+FIGURE2_APPS = ("glxgears", "oclParticles", "simpleTexture3D")
+
+
+@dataclass(frozen=True)
+class Figure2Series:
+    app: str
+    interarrival: Cdf
+    service: Cdf
+
+    @property
+    def interarrival_bins(self) -> list[float]:
+        return log2_bin_histogram(self.interarrival.samples)
+
+    @property
+    def service_bins(self) -> list[float]:
+        return log2_bin_histogram(self.service.samples)
+
+    @property
+    def short_request_fraction(self) -> float:
+        """Fraction of requests serviced in under 16 µs (paper: a large
+        share of requests are short)."""
+        return self.service.fraction_below(16.0)
+
+
+def run(
+    duration_us: float = 200_000.0,
+    warmup_us: float = 20_000.0,
+    seed: int = 0,
+    apps: Sequence[str] = FIGURE2_APPS,
+) -> list[Figure2Series]:
+    series = []
+    for name in apps:
+        env = build_env("direct", seed=seed)
+        workload = make_app(name)
+        run_workloads(env, [workload], duration_us, warmup_us)
+        submits = sorted(
+            request.submit_time
+            for request in workload.requests
+            if request.submit_time is not None and request.submit_time >= warmup_us
+        )
+        interarrivals = [
+            later - earlier for earlier, later in zip(submits, submits[1:])
+        ]
+        services = [
+            request.service_time
+            for request in workload.requests
+            if request.service_time is not None
+            and not request.aborted
+            and not math.isinf(request.size_us)
+            and (request.submit_time or 0.0) >= warmup_us
+        ]
+        series.append(
+            Figure2Series(
+                app=name,
+                interarrival=Cdf(interarrivals),
+                service=Cdf(services),
+            )
+        )
+    return series
+
+
+def main(duration_us: float = 200_000.0, seed: int = 0) -> str:
+    series = run(duration_us=duration_us, seed=seed)
+    bins = list(range(0, 14))
+    rows = []
+    for entry in series:
+        service_bins = entry.service_bins
+        rows.append(
+            [entry.app, "service"]
+            + [service_bins[index] for index in bins]
+        )
+        inter_bins = entry.interarrival_bins
+        rows.append(
+            [entry.app, "inter-arrival"]
+            + [inter_bins[index] for index in bins]
+        )
+    text = format_table(
+        ["app", "series"] + [f"<2^{index + 1}us" for index in bins],
+        rows,
+        title="Figure 2: cumulative % of requests per log2(µs) bin",
+    )
+    print(text)
+    for entry in series:
+        print(
+            f"{entry.app}: {100 * entry.short_request_fraction:.0f}% of "
+            "requests serviced in <16us"
+        )
+    return text

@@ -1,0 +1,129 @@
+"""Figure 6 — fairness of pairwise concurrent executions.
+
+Four application/Throttle pairs (one per paper row), several Throttle
+request sizes (19 µs … 1.7 ms), four schedulers (one per paper column).
+Each co-runner's round time is normalized to its standalone direct-access
+run.  The paper's shape:
+
+* direct access: wildly uneven (the larger-request task wins);
+* all three paper schedulers: both co-runners near the fair 2×;
+* under DFQ, glxgears suffers noticeably more than Throttle at small
+  Throttle sizes (the graphics-arbitration anomaly) and oclParticles gets
+  *more* than its share (multi-channel pipelining evades denial).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.experiments.runner import measure, solo_baseline
+from repro.metrics.tables import format_table
+from repro.workloads.apps import make_app
+from repro.workloads.base import Workload
+from repro.workloads.throttle import Throttle
+
+PAIR_APPS = ("DCT", "FFT", "glxgears", "oclParticles")
+THROTTLE_SIZES_US = (19.0, 110.0, 303.0, 1700.0)
+SCHEDULERS = ("direct", "timeslice", "disengaged-timeslice", "dfq")
+
+
+@dataclass(frozen=True)
+class PairOutcome:
+    """One cell of Figure 6: an app/Throttle pair under one scheduler."""
+
+    app: str
+    throttle_size_us: float
+    scheduler: str
+    app_alone_us: float
+    app_concurrent_us: float
+    throttle_alone_us: float
+    throttle_concurrent_us: float
+
+    @property
+    def app_slowdown(self) -> float:
+        return self.app_concurrent_us / self.app_alone_us
+
+    @property
+    def throttle_slowdown(self) -> float:
+        return self.throttle_concurrent_us / self.throttle_alone_us
+
+    @property
+    def efficiency(self) -> float:
+        """The paper's concurrency-efficiency metric for this pair."""
+        return (
+            self.app_alone_us / self.app_concurrent_us
+            + self.throttle_alone_us / self.throttle_concurrent_us
+        )
+
+
+def run(
+    duration_us: float = 400_000.0,
+    warmup_us: float = 60_000.0,
+    seed: int = 0,
+    apps: Sequence[str] = PAIR_APPS,
+    sizes: Sequence[float] = THROTTLE_SIZES_US,
+    schedulers: Sequence[str] = SCHEDULERS,
+    app_factories: Optional[dict[str, Callable[[], Workload]]] = None,
+) -> list[PairOutcome]:
+    factories = app_factories or {
+        name: (lambda name=name: make_app(name)) for name in apps
+    }
+    app_bases = {
+        name: solo_baseline(factories[name], duration_us, warmup_us, seed)
+        for name in apps
+    }
+    throttle_bases = {
+        size: solo_baseline(
+            lambda size=size: Throttle(size), duration_us, warmup_us, seed
+        )
+        for size in sizes
+    }
+    outcomes = []
+    for app in apps:
+        for size in sizes:
+            for scheduler in schedulers:
+                throttle_factory = lambda size=size: Throttle(size)
+                results = measure(
+                    scheduler,
+                    [factories[app], throttle_factory],
+                    duration_us,
+                    warmup_us,
+                    seed,
+                )
+                app_result = results[app]
+                throttle_result = results[f"throttle-{size:g}us"]
+                outcomes.append(
+                    PairOutcome(
+                        app=app,
+                        throttle_size_us=size,
+                        scheduler=scheduler,
+                        app_alone_us=app_bases[app].rounds.mean_us,
+                        app_concurrent_us=app_result.rounds.mean_us,
+                        throttle_alone_us=throttle_bases[size].rounds.mean_us,
+                        throttle_concurrent_us=throttle_result.rounds.mean_us,
+                    )
+                )
+    return outcomes
+
+
+def main(duration_us: float = 400_000.0, seed: int = 0) -> str:
+    outcomes = run(duration_us=duration_us, seed=seed)
+    rows = [
+        [
+            outcome.app,
+            outcome.throttle_size_us,
+            outcome.scheduler,
+            outcome.app_slowdown,
+            outcome.throttle_slowdown,
+        ]
+        for outcome in outcomes
+    ]
+    table = format_table(
+        ["app", "throttle size (us)", "scheduler", "app slowdown", "throttle slowdown"],
+        rows,
+        title="Figure 6: pairwise slowdowns vs standalone direct access "
+        "(fair = both near 2.0)",
+    )
+    print(table)
+    return table

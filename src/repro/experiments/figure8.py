@@ -1,0 +1,80 @@
+"""Figure 8 — scalability to four concurrent applications.
+
+One large-request Throttle plus three small-request applications
+(BinarySearch, DCT, FFT).  Fair sharing should hold each task near the
+expected 4–5× slowdown; efficiency losses vs direct access were 13%
+(engaged Timeslice), 8% (Disengaged Timeslice) and 7% (DFQ) in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.runner import measure, solo_baseline
+from repro.metrics.efficiency import concurrency_efficiency
+from repro.metrics.tables import format_table
+from repro.workloads.apps import make_app
+from repro.workloads.throttle import Throttle
+
+FOUR_WAY_APPS = ("BinarySearch", "DCT", "FFT")
+THROTTLE_SIZE_US = 1700.0
+SCHEDULERS = ("direct", "timeslice", "disengaged-timeslice", "dfq")
+
+
+@dataclass(frozen=True)
+class Figure8Row:
+    scheduler: str
+    slowdowns: dict[str, float]
+    efficiency: float
+
+    @property
+    def mean_slowdown(self) -> float:
+        return sum(self.slowdowns.values()) / len(self.slowdowns)
+
+
+def run(
+    duration_us: float = 600_000.0,
+    warmup_us: float = 100_000.0,
+    seed: int = 0,
+    schedulers: Sequence[str] = SCHEDULERS,
+) -> list[Figure8Row]:
+    factories = {name: (lambda name=name: make_app(name)) for name in FOUR_WAY_APPS}
+    throttle_name = f"throttle-{THROTTLE_SIZE_US:g}us"
+    factories[throttle_name] = lambda: Throttle(THROTTLE_SIZE_US)
+    baselines = {
+        name: solo_baseline(factory, duration_us, warmup_us, seed)
+        for name, factory in factories.items()
+    }
+    rows = []
+    for scheduler in schedulers:
+        results = measure(
+            scheduler, list(factories.values()), duration_us, warmup_us, seed
+        )
+        slowdowns = {
+            name: results[name].rounds.mean_us / baselines[name].rounds.mean_us
+            for name in factories
+        }
+        efficiency = concurrency_efficiency(
+            (baselines[name].rounds.mean_us, results[name].rounds.mean_us)
+            for name in factories
+        )
+        rows.append(Figure8Row(scheduler, slowdowns, efficiency))
+    return rows
+
+
+def main(duration_us: float = 600_000.0, seed: int = 0) -> str:
+    rows = run(duration_us=duration_us, seed=seed)
+    names = list(rows[0].slowdowns)
+    table = format_table(
+        ["scheduler"] + [f"{name} slowdown" for name in names] + ["efficiency"],
+        [
+            [row.scheduler]
+            + [row.slowdowns[name] for name in names]
+            + [row.efficiency]
+            for row in rows
+        ],
+        title="Figure 8: four-way fairness (expected ~4-5x each) and efficiency",
+    )
+    print(table)
+    return table

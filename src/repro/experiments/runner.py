@@ -1,0 +1,186 @@
+"""Shared experiment scaffolding.
+
+Builds a complete simulated system (simulator, device, kernel, scheduler),
+runs a set of workloads for a fixed virtual duration, and extracts
+per-workload results.  All experiments are deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+from repro.core.base import SchedulerBase, scheduler_registry
+from repro.gpu.device import GpuDevice
+from repro.gpu.params import GpuParams
+from repro.metrics.rounds import RoundStats
+from repro.osmodel.costs import CostParams
+from repro.osmodel.kernel import ChannelQuotaPolicy, Kernel, MemoryQuotaPolicy
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import NullRecorder, TraceRecorder
+from repro.workloads.base import Workload
+
+#: Default measurement horizon (µs of virtual time) and warmup.
+DEFAULT_DURATION_US = 400_000.0
+DEFAULT_WARMUP_US = 60_000.0
+
+WorkloadFactory = Callable[[], Workload]
+SchedulerSpec = Union[str, SchedulerBase]
+
+
+@dataclass
+class SimulationEnv:
+    """One fully wired simulated system."""
+
+    sim: Simulator
+    device: GpuDevice
+    kernel: Kernel
+    scheduler: SchedulerBase
+    rng: RngRegistry
+    trace: TraceRecorder
+
+
+def build_env(
+    scheduler: SchedulerSpec = "direct",
+    seed: int = 0,
+    costs: Optional[CostParams] = None,
+    gpu_params: Optional[GpuParams] = None,
+    quota: Optional[ChannelQuotaPolicy] = None,
+    memory_quota: Optional[MemoryQuotaPolicy] = None,
+    trace_kinds: Optional[Iterable[str]] = None,
+) -> SimulationEnv:
+    """Wire up a simulator, device, kernel, and scheduler."""
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    trace: TraceRecorder
+    if trace_kinds is None:
+        trace = NullRecorder()
+    else:
+        trace = TraceRecorder(trace_kinds)
+    device = GpuDevice(sim, gpu_params, trace)
+    kernel = Kernel(sim, device, costs, trace, quota, memory_quota)
+    if isinstance(scheduler, str):
+        try:
+            scheduler = scheduler_registry[scheduler]()
+        except KeyError:
+            known = ", ".join(sorted(scheduler_registry))
+            raise KeyError(
+                f"unknown scheduler {scheduler!r}; known: {known}"
+            ) from None
+    kernel.attach_scheduler(scheduler)
+    return SimulationEnv(sim, device, kernel, scheduler, rng, trace)
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Per-workload outcome of one simulation run."""
+
+    name: str
+    rounds: RoundStats
+    killed: bool
+    kill_reason: Optional[str]
+    mean_request_us: float
+    requests_submitted: int
+    ground_truth_usage_us: float
+
+    @property
+    def mean_round_us(self) -> float:
+        return self.rounds.mean_us
+
+
+def run_workloads(
+    env: SimulationEnv,
+    workloads: Sequence[Workload],
+    duration_us: float = DEFAULT_DURATION_US,
+    warmup_us: float = DEFAULT_WARMUP_US,
+) -> dict[str, WorkloadResult]:
+    """Start the workloads, run the clock, summarize steady state."""
+    for workload in workloads:
+        workload.start(env.sim, env.kernel, env.rng)
+    env.sim.run(until=duration_us)
+    results = {}
+    for workload in workloads:
+        results[workload.name] = WorkloadResult(
+            name=workload.name,
+            rounds=workload.round_stats(warmup_us, duration_us),
+            killed=workload.killed,
+            kill_reason=workload.task.kill_reason,
+            mean_request_us=workload.mean_request_size(),
+            requests_submitted=len(workload.requests),
+            ground_truth_usage_us=env.device.task_usage(workload.task),
+        )
+    return results
+
+
+def measure(
+    scheduler: SchedulerSpec,
+    factories: Sequence[WorkloadFactory],
+    duration_us: float = DEFAULT_DURATION_US,
+    warmup_us: float = DEFAULT_WARMUP_US,
+    seed: int = 0,
+    costs: Optional[CostParams] = None,
+    gpu_params: Optional[GpuParams] = None,
+) -> dict[str, WorkloadResult]:
+    """Build a fresh system, run the workload mix, return results."""
+    env = build_env(scheduler, seed=seed, costs=costs, gpu_params=gpu_params)
+    workloads = [factory() for factory in factories]
+    return run_workloads(env, workloads, duration_us, warmup_us)
+
+
+def solo_baseline(
+    factory: WorkloadFactory,
+    duration_us: float = DEFAULT_DURATION_US,
+    warmup_us: float = DEFAULT_WARMUP_US,
+    seed: int = 0,
+    costs: Optional[CostParams] = None,
+    gpu_params: Optional[GpuParams] = None,
+) -> WorkloadResult:
+    """Run one workload alone under direct device access."""
+    results = measure(
+        "direct", [factory], duration_us, warmup_us, seed, costs, gpu_params
+    )
+    return next(iter(results.values()))
+
+
+@dataclass(frozen=True)
+class SeedSweepStats:
+    """Mean and spread of a metric across seeds."""
+
+    metric: str
+    seeds: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def relative_spread(self) -> float:
+        """(max - min) / mean; how seed-sensitive the result is."""
+        if self.mean == 0:
+            return float("nan")
+        return (self.maximum - self.minimum) / self.mean
+
+
+def sweep_seeds(
+    metric_fn: Callable[[int], float],
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    metric: str = "metric",
+) -> SeedSweepStats:
+    """Evaluate ``metric_fn(seed)`` across seeds and summarize the spread.
+
+    Every simulation is deterministic per seed, so this is the honest way
+    to put error bars on a reported number.
+    """
+    values = [metric_fn(seed) for seed in seeds]
+    count = len(values)
+    mean = sum(values) / count
+    variance = sum((value - mean) ** 2 for value in values) / count
+    return SeedSweepStats(
+        metric=metric,
+        seeds=count,
+        mean=mean,
+        std=variance**0.5,
+        minimum=min(values),
+        maximum=max(values),
+    )

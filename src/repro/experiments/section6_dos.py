@@ -1,0 +1,132 @@
+"""Section 6.3 — resource-exhaustion DoS attacks and their quota defenses.
+
+Channels: a hog that opens contexts (one compute + one DMA channel each)
+exhausts the device — the paper measured that after 48 contexts no other
+application could use the GTX670.  The C-channels-per-task / D÷C-tasks
+quota policy stops it early.
+
+Memory: the paper's second abuse scenario — exhausting the 2 GB of
+onboard RAM — is blocked by per-task memory accounting with a consumption
+cap (the protection the paper sketches but leaves unexplored).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OutOfResourcesError
+from repro.experiments.runner import build_env, run_workloads
+from repro.metrics.tables import format_table
+from repro.osmodel.kernel import ChannelQuotaPolicy, MemoryQuotaPolicy
+from repro.workloads.adversarial import ChannelHog, MemoryHog
+from repro.workloads.throttle import Throttle
+
+
+@dataclass(frozen=True)
+class DosOutcome:
+    quota_enabled: bool
+    hog_contexts: int
+    hog_channels: int
+    hog_denied_reason: str
+    victim_rounds: int
+    victim_locked_out: bool
+
+
+def run(duration_us: float = 50_000.0, seed: int = 0) -> list[DosOutcome]:
+    outcomes = []
+    for quota in (None, ChannelQuotaPolicy(channels_per_task=4)):
+        env = build_env("direct", seed=seed, quota=quota)
+        hog = ChannelHog()
+        victim = Throttle(100.0, name="victim")
+        hog.start(env.sim, env.kernel, env.rng)
+        # Let the hog grab everything before the victim arrives.
+        env.sim.run(until=duration_us / 2)
+        victim.start(env.sim, env.kernel, env.rng)
+        env.sim.run(until=duration_us)
+        victim_rounds = len(victim.rounds)
+        outcomes.append(
+            DosOutcome(
+                quota_enabled=quota is not None,
+                hog_contexts=hog.contexts_opened,
+                hog_channels=hog.channels_opened,
+                hog_denied_reason=hog.denied or "-",
+                victim_rounds=victim_rounds,
+                victim_locked_out=victim_rounds == 0,
+            )
+        )
+    return outcomes
+
+
+@dataclass(frozen=True)
+class MemoryDosOutcome:
+    quota_enabled: bool
+    hog_allocated_mib: float
+    victim_denied: bool
+
+
+def run_memory(duration_us: float = 30_000.0, seed: int = 0) -> list[MemoryDosOutcome]:
+    """The memory-exhaustion variant: a hog grabs RAM, then a victim asks
+    for a modest working set."""
+    outcomes = []
+    for quota in (None, MemoryQuotaPolicy(max_fraction=0.5)):
+        env = build_env("direct", seed=seed, memory_quota=quota)
+        hog = MemoryHog(chunk_mib=128.0)
+        hog.start(env.sim, env.kernel, env.rng)
+        env.sim.run(until=duration_us / 2)
+        victim = env.kernel.create_task("victim")
+        victim_context = env.kernel.open_context(victim)
+        denied = False
+        try:
+            env.kernel.allocate_memory(victim, victim_context, 256.0)
+        except OutOfResourcesError:
+            denied = True
+        outcomes.append(
+            MemoryDosOutcome(
+                quota_enabled=quota is not None,
+                hog_allocated_mib=hog.allocated_mib,
+                victim_denied=denied,
+            )
+        )
+    return outcomes
+
+
+def main(duration_us: float = 50_000.0, seed: int = 0) -> str:
+    outcomes = run(duration_us=duration_us, seed=seed)
+    table = format_table(
+        [
+            "quota",
+            "hog contexts",
+            "hog channels",
+            "victim rounds",
+            "victim locked out",
+        ],
+        [
+            [
+                "on" if o.quota_enabled else "off",
+                o.hog_contexts,
+                o.hog_channels,
+                o.victim_rounds,
+                o.victim_locked_out,
+            ]
+            for o in outcomes
+        ],
+        title="Section 6.3: channel-exhaustion DoS "
+        "(paper: 48 contexts lock the device; quota policy prevents it)",
+    )
+    memory_outcomes = run_memory(seed=seed)
+    memory_table = format_table(
+        ["memory quota", "hog allocated (MiB)", "victim allocation denied"],
+        [
+            [
+                "on" if o.quota_enabled else "off",
+                o.hog_allocated_mib,
+                o.victim_denied,
+            ]
+            for o in memory_outcomes
+        ],
+        title="Section 6.3: memory-exhaustion DoS (GTX670: 2048 MiB onboard)",
+    )
+    print(table)
+    print()
+    print(memory_table)
+    return table + "\n\n" + memory_table

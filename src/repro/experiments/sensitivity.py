@@ -1,0 +1,107 @@
+"""Configuration-parameter sensitivity (§5.2).
+
+The paper states "NEON is not particularly sensitive to configuration
+parameters.  We tested different settings, but found the above to be
+sufficient."  This study sweeps the three main knobs — polling period,
+timeslice length, sampling request budget — and shows fairness and
+overhead stay within narrow bands around the defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.runner import build_env, run_workloads, solo_baseline
+from repro.metrics.tables import format_table
+from repro.osmodel.costs import CostParams
+from repro.workloads.apps import make_app
+from repro.workloads.throttle import Throttle
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    knob: str
+    value: float
+    scheduler: str
+    standalone_overhead: float
+    app_slowdown: float
+    throttle_slowdown: float
+
+    @property
+    def fair(self) -> bool:
+        return self.app_slowdown < 3.0 and self.throttle_slowdown < 3.0
+
+
+def _costs_with(knob: str, value: float) -> CostParams:
+    costs = CostParams()
+    setattr(costs, knob, value)
+    return costs
+
+
+SWEEPS: dict[str, tuple[str, Sequence[float]]] = {
+    # knob key -> (scheduler it matters to, values)
+    "poll_interval_us": ("dfq", (500.0, 1000.0, 2000.0)),
+    "timeslice_us": ("disengaged-timeslice", (10_000.0, 30_000.0, 100_000.0)),
+    "sample_max_requests": ("dfq", (16, 32, 64)),
+}
+
+
+def run(
+    duration_us: float = 300_000.0,
+    warmup_us: float = 60_000.0,
+    seed: int = 0,
+) -> list[SensitivityRow]:
+    app_base = solo_baseline(lambda: make_app("DCT"), duration_us, warmup_us, seed)
+    throttle_base = solo_baseline(
+        lambda: Throttle(500.0, name="thr"), duration_us, warmup_us, seed
+    )
+    rows = []
+    for knob, (scheduler, values) in SWEEPS.items():
+        for value in values:
+            costs = _costs_with(knob, value)
+            solo_env = build_env(scheduler, seed=seed, costs=costs)
+            solo = make_app("DCT")
+            run_workloads(solo_env, [solo], duration_us, warmup_us)
+
+            pair_env = build_env(scheduler, seed=seed, costs=_costs_with(knob, value))
+            app = make_app("DCT")
+            throttle = Throttle(500.0, name="thr")
+            run_workloads(pair_env, [app, throttle], duration_us, warmup_us)
+            rows.append(
+                SensitivityRow(
+                    knob=knob,
+                    value=float(value),
+                    scheduler=scheduler,
+                    standalone_overhead=solo.round_stats(warmup_us).mean_us
+                    / app_base.rounds.mean_us
+                    - 1.0,
+                    app_slowdown=app.round_stats(warmup_us).mean_us
+                    / app_base.rounds.mean_us,
+                    throttle_slowdown=throttle.round_stats(warmup_us).mean_us
+                    / throttle_base.rounds.mean_us,
+                )
+            )
+    return rows
+
+
+def main(duration_us: float = 300_000.0, seed: int = 0) -> str:
+    rows = run(duration_us=duration_us, seed=seed)
+    table = format_table(
+        ["knob", "value", "scheduler", "standalone overhead", "DCT x", "thr x", "fair"],
+        [
+            [
+                row.knob,
+                row.value,
+                row.scheduler,
+                f"{100 * row.standalone_overhead:.1f}%",
+                row.app_slowdown,
+                row.throttle_slowdown,
+                row.fair,
+            ]
+            for row in rows
+        ],
+        title="Parameter sensitivity (paper: 'not particularly sensitive')",
+    )
+    print(table)
+    return table

@@ -1,0 +1,34 @@
+"""GPU device model.
+
+Models the accelerator exactly at the abstraction level the paper's
+schedulers care about: **channels** (user-mapped request queues backed by a
+ring buffer and a reference counter), **contexts** (per-task address
+spaces grouping channels), and **execution engines** that pull requests
+round-robin from pending channels, paying a context-switch cost when
+crossing context boundaries.
+
+The device keeps *ground-truth* per-task usage accounting.  Schedulers may
+not read it (they must estimate through the interception layer); it exists
+for metrics and for the "vendor-provided statistics" ablations the paper
+calls for in Sections 3.3 and 6.1.
+"""
+
+from repro.gpu.channel import Channel
+from repro.gpu.context import GpuContext
+from repro.gpu.device import GpuDevice, OutOfResourcesError
+from repro.gpu.engine import ExecutionEngine
+from repro.gpu.memory import GpuMemory
+from repro.gpu.params import GpuParams
+from repro.gpu.request import Request, RequestKind
+
+__all__ = [
+    "Channel",
+    "ExecutionEngine",
+    "GpuContext",
+    "GpuDevice",
+    "GpuMemory",
+    "GpuParams",
+    "OutOfResourcesError",
+    "Request",
+    "RequestKind",
+]

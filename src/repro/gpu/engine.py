@@ -1,0 +1,338 @@
+"""The device execution engine.
+
+Serves pending channels round-robin — the service discipline the paper's
+reverse engineering observed — paying a context-switch cost when crossing
+context boundaries.  Two behaviours matter for reproducing the paper's
+results:
+
+* **Request-granularity arbitration.**  The engine alternates between
+  channels *per request*, so a channel with larger requests receives a
+  proportionally larger share of device time.  This is the root cause of
+  the unfairness of direct device access (Figure 6, leftmost column).
+
+* **Non-uniform graphics arbitration.**  When graphics and compute channels
+  compete, graphics channels are served once per
+  ``graphics_service_penalty`` opportunities, modeling the paper's
+  observation that glxgears requests complete at roughly one third the
+  rate of concurrent compute requests (Section 5.3's anomaly).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.gpu.channel import Channel
+from repro.gpu.request import Request, RequestKind
+from repro.sim.events import AnyOf, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.device import GpuDevice
+    from repro.gpu.params import GpuParams
+    from repro.sim.engine import Simulator
+
+
+class ExecutionEngine:
+    """One execution engine (main compute/graphics, or the copy engine)."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        params: "GpuParams",
+        kinds: frozenset[RequestKind],
+        device: "GpuDevice",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.params = params
+        self.kinds = kinds
+        self.device = device
+        self._channels: list[Channel] = []
+        self._cursor = 0
+        self._wake: Optional[Event] = None
+        self._abort: Optional[Event] = None
+        self._preempt: Optional[Event] = None
+        self._pending_stall = 0.0
+        self.preemptions = 0
+        self.current: Optional[Request] = None
+        self.current_channel: Optional[Channel] = None
+        self._last_context = None
+        self._last_channel: Optional[Channel] = None
+        self._last_nongraphics_end = -1e18
+        #: Cumulative engine-busy microseconds (service + switching + stalls).
+        self.busy_us = 0.0
+        #: Cumulative switching overhead alone.
+        self.switch_us = 0.0
+        self.completed_requests = 0
+        self.process = sim.spawn(self._run(), name=f"gpu.{name}")
+
+    # ------------------------------------------------------------------
+    # Channel registration
+    # ------------------------------------------------------------------
+    def register_channel(self, channel: Channel) -> None:
+        if channel.kind not in self.kinds:
+            raise ValueError(f"{channel.kind.value} channel on engine {self.name}")
+        self._channels.append(channel)
+        channel._graphics_earliest = 0.0  # arbitration-penalty cooldown
+
+    def unregister_channel(self, channel: Channel) -> None:
+        try:
+            self._channels.remove(channel)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # External control
+    # ------------------------------------------------------------------
+    def notify(self) -> None:
+        """Wake the engine: new work may be available."""
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.trigger()
+
+    def abort_current(self, context) -> bool:
+        """Abort the running request if it belongs to ``context``."""
+        if (
+            self.current is not None
+            and self.current_channel is not None
+            and self.current_channel.context is context
+            and self._abort is not None
+            and not self._abort.triggered
+        ):
+            self._abort.trigger()
+            return True
+        return False
+
+    def preempt_current(self, context=None) -> bool:
+        """Preempt the running request (hardware preemption, §6.2).
+
+        The request's state is saved, the remainder requeued at the head
+        of its channel, and the engine moves on after the save cost.  With
+        ``context`` given, only a request of that context is preempted.
+        Returns True if a preemption was initiated.
+        """
+        if not self.params.preemption_supported:
+            return False
+        if self.current is None or self.current_channel is None:
+            return False
+        if context is not None and self.current_channel.context is not context:
+            return False
+        if self._preempt is None or self._preempt.triggered:
+            return False
+        self._preempt.trigger()
+        return True
+
+    def inject_stall(self, duration_us: float) -> None:
+        """Consume engine time outside any request (context cleanup)."""
+        self._pending_stall += duration_us
+        self.notify()
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is running and no servable work is queued."""
+        if self.current is not None or self._pending_stall > 0:
+            return False
+        return not any(
+            channel.queue
+            for channel in self._channels
+            if not channel.masked and not channel.dead
+        )
+
+    # ------------------------------------------------------------------
+    # Arbitration
+    # ------------------------------------------------------------------
+    def _pick(self) -> tuple[Optional[Channel], Optional[float]]:
+        """Choose the next channel (round-robin with the graphics penalty).
+
+        Returns ``(channel, None)`` to serve, ``(None, delay)`` when only
+        penalized graphics channels are pending (re-arbitrate after the
+        cooldown), or ``(None, None)`` when nothing is pending.
+        """
+        live = self._channels
+        count = len(live)
+        if count == 0:
+            return None, None
+        now = self.sim.now
+        earliest_blocked: Optional[float] = None
+        any_pending = False
+        for offset in range(count):
+            index = (self._cursor + offset) % count
+            channel = live[index]
+            if channel.dead or channel.masked or not channel.queue:
+                continue
+            any_pending = True
+            if (
+                channel.kind is RequestKind.GRAPHICS
+                and channel._graphics_earliest > now
+            ):
+                if (
+                    earliest_blocked is None
+                    or channel._graphics_earliest < earliest_blocked
+                ):
+                    earliest_blocked = channel._graphics_earliest
+                continue
+            self._cursor = (index + 1) % count
+            return channel, None
+        if not any_pending:
+            return None, None
+        return None, max(earliest_blocked - now, 0.01)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def _run(self):
+        while True:
+            if self._pending_stall > 0:
+                stall = self._pending_stall
+                self._pending_stall = 0.0
+                yield stall
+                self.busy_us += stall
+                continue
+
+            channel, retry_delay = self._pick()
+            if channel is None:
+                # Nothing servable right now.  Wait for new work; when only
+                # penalized graphics channels are pending, also re-arbitrate
+                # once their cooldown expires (non-work-conserving hardware
+                # arbitration).
+                self._wake = self.sim.event()
+                if retry_delay is not None:
+                    cooldown = self.sim.event()
+                    timer = self.sim.schedule(retry_delay, cooldown.trigger)
+                    first = yield AnyOf(self.sim, [cooldown, self._wake])
+                    if first is not cooldown:
+                        timer.cancel()
+                else:
+                    yield self._wake
+                self._wake = None
+                continue
+
+            switch_cost = self._switch_cost(channel)
+            if switch_cost > 0:
+                yield switch_cost
+                self.busy_us += switch_cost
+                self.switch_us += switch_cost
+                # The queue may have changed (e.g. the context died) while
+                # we were switching; re-arbitrate from scratch.
+                if channel.dead or not channel.queue:
+                    self._last_context = None
+                    self._last_channel = None
+                    continue
+            self._last_context = channel.context
+            self._last_channel = channel
+
+            request = channel.queue.popleft()
+            channel.running = request
+            if request.preemptions > 0:
+                # Restore the saved execution state before resuming.
+                restore = self.params.preemption_save_restore_us
+                yield restore
+                self.busy_us += restore
+                self.switch_us += restore
+            if request.start_time is None:
+                request.start_time = self.sim.now
+            segment_start = self.sim.now
+            self.current = request
+            self.current_channel = channel
+            self._abort = self.sim.event()
+            self._preempt = self.sim.event()
+
+            waits = [self._abort, self._preempt]
+            timer = None
+            if not request.never_completes:
+                finished = self.sim.event()
+                timer = self.sim.schedule(request.remaining_us, finished.trigger)
+                waits.insert(0, finished)
+            first = yield AnyOf(self.sim, waits)
+            if timer is not None and first is not waits[0]:
+                timer.cancel()
+
+            if first is self._preempt:
+                yield from self._suspend(channel, request, segment_start)
+            else:
+                self._retire(channel, request, first is self._abort, segment_start)
+
+    def _switch_cost(self, channel: Channel) -> float:
+        if self._last_context is None:
+            return 0.0
+        if self._last_context is not channel.context:
+            return self.params.context_switch_us
+        if self._last_channel is not channel:
+            return self.params.channel_switch_us
+        return 0.0
+
+    def _suspend(self, channel: Channel, request: Request, segment_start: float):
+        """Preemption path: charge the executed segment, save state, and
+        requeue the remainder at the head of the channel."""
+        now = self.sim.now
+        executed = now - segment_start
+        request.remaining_us = max(0.0, request.remaining_us - executed)
+        request.preemptions += 1
+        self.preemptions += 1
+        self.busy_us += executed
+        self.device.charge(channel.task, executed, request.kind)
+        channel.running = None
+        channel.queue.appendleft(request)
+        self.current = None
+        self.current_channel = None
+        self._abort = None
+        self._preempt = None
+        save = self.params.preemption_save_restore_us
+        yield save
+        self.busy_us += save
+        self.switch_us += save
+        self.device.trace.emit(
+            now, f"gpu.{self.name}", "request_preempted",
+            task=channel.task.name, channel=channel.channel_id,
+            ref=request.ref, remaining_us=request.remaining_us,
+        )
+
+    def _retire(
+        self,
+        channel: Channel,
+        request: Request,
+        aborted: bool,
+        segment_start: Optional[float] = None,
+    ) -> None:
+        now = self.sim.now
+        request.finish_time = now
+        if segment_start is None:
+            segment_start = (
+                request.start_time if request.start_time is not None else now
+            )
+        service = now - segment_start
+        request.remaining_us = 0.0
+        self.busy_us += service
+        self.device.charge(channel.task, service, request.kind)
+        if request.kind is not RequestKind.GRAPHICS:
+            self._last_nongraphics_end = now
+        elif (
+            self.params.graphics_penalty_gap_us > 0
+            and now - self._last_nongraphics_end
+            <= self.params.graphics_competition_window_us
+        ):
+            # Competing compute work ran recently: the hardware arbiter
+            # holds this graphics channel back for a cooldown (the paper's
+            # observed non-uniform graphics/compute scheduling).
+            channel._graphics_earliest = now + self.params.graphics_penalty_gap_us
+        channel.running = None
+        self.current = None
+        self.current_channel = None
+        self._abort = None
+        self._preempt = None
+        if aborted:
+            request.aborted = True
+            # The kill path resets the channel's counters; nothing to do.
+        else:
+            channel.complete(request)
+            self.completed_requests += 1
+        self.device.trace.emit(
+            now,
+            f"gpu.{self.name}",
+            "request_aborted" if aborted else "request_complete",
+            task=channel.task.name,
+            channel=channel.channel_id,
+            ref=request.ref,
+            service_us=service,
+        )
+        if request.completion is not None and not request.completion.triggered:
+            request.completion.trigger(request)

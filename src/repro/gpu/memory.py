@@ -1,0 +1,75 @@
+"""Device memory accounting (§6.3, "Protection of Other Resources").
+
+The paper notes that an erroneous or malicious application could exhaust
+the GPU's onboard RAM (2 GB on the GTX670) and prevent normal use by
+others, and that an OS-level framework could prevent this by accounting
+for per-application memory use and blocking excessive consumption.  This
+module provides the device-side allocator; the kernel applies the
+:class:`~repro.osmodel.kernel.MemoryQuotaPolicy` on top.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import OutOfResourcesError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.context import GpuContext
+
+
+class GpuMemory:
+    """Onboard-RAM bookkeeping, charged per context."""
+
+    def __init__(self, total_mib: float) -> None:
+        if total_mib <= 0:
+            raise ValueError("total memory must be positive")
+        self.total_mib = float(total_mib)
+        self._allocated: dict[int, float] = {}
+
+    @property
+    def used_mib(self) -> float:
+        return sum(self._allocated.values())
+
+    @property
+    def free_mib(self) -> float:
+        return self.total_mib - self.used_mib
+
+    def context_usage(self, context: "GpuContext") -> float:
+        return self._allocated.get(context.context_id, 0.0)
+
+    def allocate(self, context: "GpuContext", mib: float) -> None:
+        """Carve out ``mib`` for the context; raises when exhausted."""
+        if mib <= 0:
+            raise ValueError("allocation size must be positive")
+        if context.dead:
+            raise RuntimeError("allocation on a dead context")
+        if mib > self.free_mib:
+            raise OutOfResourcesError(
+                f"device memory exhausted: requested {mib:.0f} MiB, "
+                f"{self.free_mib:.0f} MiB free"
+            )
+        self._allocated[context.context_id] = (
+            self._allocated.get(context.context_id, 0.0) + mib
+        )
+
+    def free(self, context: "GpuContext", mib: float) -> None:
+        """Return ``mib`` previously allocated by the context."""
+        held = self._allocated.get(context.context_id, 0.0)
+        if mib > held + 1e-9:
+            raise ValueError(
+                f"context {context.context_id} frees {mib:.0f} MiB "
+                f"but holds {held:.0f} MiB"
+            )
+        remaining = held - mib
+        if remaining <= 1e-9:
+            self._allocated.pop(context.context_id, None)
+        else:
+            self._allocated[context.context_id] = remaining
+
+    def release_context(self, context: "GpuContext") -> float:
+        """Free everything the context holds (exit/kill protocol)."""
+        return self._allocated.pop(context.context_id, 0.0) or 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GpuMemory({self.used_mib:.0f}/{self.total_mib:.0f} MiB used)"

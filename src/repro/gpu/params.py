@@ -1,0 +1,85 @@
+"""Device model parameters.
+
+Defaults approximate the paper's Nvidia GTX670 ("Kepler") test platform.
+Where the paper gives concrete numbers we use them; otherwise values are
+chosen to reproduce the paper's qualitative behaviour and are documented
+here and in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class GpuParams:
+    """Tunable characteristics of the modeled accelerator."""
+
+    #: Cost of switching the main engine between channels of *different*
+    #: contexts (µs).  Kepler context switching is fast; this cost is what
+    #: drives direct-access concurrency efficiency below 1.0 for
+    #: small-request workloads (Figure 7 discussion).
+    context_switch_us: float = 4.0
+
+    #: Cost of switching between channels within the same context (µs).
+    channel_switch_us: float = 0.3
+
+    #: Non-uniform graphics arbitration: after a graphics request is served
+    #: while compute work is competing, the graphics channel becomes
+    #: ineligible for this long.  Models the paper's observation that
+    #: "glxgears requests complete at almost one third the rate that
+    #: Throttle requests do" during shared free-run (Section 5.3).
+    #: 0 disables the penalty (uniform round-robin).
+    graphics_penalty_gap_us: float = 55.0
+
+    #: How recently a non-graphics request must have been served for the
+    #: graphics penalty to apply ("competition" detection window).
+    graphics_competition_window_us: float = 500.0
+
+    #: Total number of channels the device supports.  The paper found that
+    #: 48 contexts, each holding one compute and one DMA channel, exhaust
+    #: the GTX670 (Section 6.3) — hence 96.
+    total_channels: int = 96
+
+    #: Maximum number of simultaneously open contexts (GTX670: 48).
+    max_contexts: int = 48
+
+    #: Engine-busy time consumed by cleaning up a killed context (µs).
+    #: Models the "normal exit protocol, returning occupied resources back
+    #: to the available pool" of Section 3.1.
+    context_cleanup_us: float = 250.0
+
+    #: Whether DMA requests run on a separate copy engine, overlapping
+    #: compute.  The paper cites DMA/compute overlap as the reason
+    #: direct-access concurrency efficiency can exceed 1.0.
+    separate_copy_engine: bool = True
+
+    #: Hardware preemption support (Section 6.2's wished-for feature):
+    #: the engine can save the running request's state, requeue it, and
+    #: later resume it.  Also enables channel masking (runlist control),
+    #: which exclusivity requires once preempted work can linger in queues.
+    preemption_supported: bool = False
+
+    #: Engine time to save or restore a preempted request's state (µs).
+    preemption_save_restore_us: float = 25.0
+
+    #: Onboard memory in MiB (GTX670: 2048).  Used only by the resource
+    #: protection extension experiments.
+    memory_mib: int = 2048
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on nonsensical settings."""
+        if self.context_switch_us < 0 or self.channel_switch_us < 0:
+            raise ValueError("switch costs must be non-negative")
+        if self.graphics_penalty_gap_us < 0:
+            raise ValueError("graphics_penalty_gap_us must be non-negative")
+        if self.graphics_competition_window_us < 0:
+            raise ValueError("graphics_competition_window_us must be non-negative")
+        if self.total_channels < 1:
+            raise ValueError("total_channels must be positive")
+        if self.max_contexts < 1:
+            raise ValueError("max_contexts must be positive")
+        if self.context_cleanup_us < 0:
+            raise ValueError("context_cleanup_us must be non-negative")
+        if self.preemption_save_restore_us < 0:
+            raise ValueError("preemption_save_restore_us must be non-negative")

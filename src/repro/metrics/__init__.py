@@ -1,0 +1,19 @@
+"""Measurement utilities: round tracking, fairness and efficiency metrics,
+CDF helpers for Figure 2, and plain-text result tables."""
+
+from repro.metrics.cdf import Cdf, log2_bin_histogram
+from repro.metrics.efficiency import concurrency_efficiency
+from repro.metrics.fairness import jain_index, max_slowdown_ratio
+from repro.metrics.rounds import RoundLog, RoundStats
+from repro.metrics.tables import format_table
+
+__all__ = [
+    "Cdf",
+    "RoundLog",
+    "RoundStats",
+    "concurrency_efficiency",
+    "format_table",
+    "jain_index",
+    "log2_bin_histogram",
+    "max_slowdown_ratio",
+]

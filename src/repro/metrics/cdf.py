@@ -1,0 +1,70 @@
+"""CDF utilities for Figure 2's request-timing distributions.
+
+The paper plots CDFs over log₂-µs bins of request inter-arrival periods
+and service periods.  :func:`log2_bin_histogram` reproduces that binning;
+:class:`Cdf` offers exact quantiles for assertions and tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+class Cdf:
+    """An empirical CDF over a sample of non-negative values."""
+
+    def __init__(self, samples: Iterable[float]) -> None:
+        self._sorted = sorted(float(s) for s in samples)
+        if any(s < 0 for s in self._sorted):
+            raise ValueError("CDF samples must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    def fraction_below(self, threshold: float) -> float:
+        """P(X < threshold)."""
+        if not self._sorted:
+            return float("nan")
+        # Linear scan is fine at our sample sizes; bisect would also work.
+        count = sum(1 for value in self._sorted if value < threshold)
+        return count / len(self._sorted)
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._sorted:
+            return float("nan")
+        index = min(len(self._sorted) - 1, int(q * len(self._sorted)))
+        return self._sorted[index]
+
+    @property
+    def samples(self) -> Sequence[float]:
+        return tuple(self._sorted)
+
+
+def log2_bin_histogram(
+    samples: Iterable[float], max_bin: int = 17
+) -> list[float]:
+    """Cumulative percentage of events per log₂-µs bin (Figure 2's axes).
+
+    Bin *k* covers values in [2ᵏ, 2ᵏ⁺¹) µs; bin 0 also absorbs anything
+    below 1 µs.  Returns cumulative percentages, one per bin 0..max_bin.
+    """
+    counts = [0] * (max_bin + 1)
+    total = 0
+    for sample in samples:
+        total += 1
+        if sample < 1.0:
+            bin_index = 0
+        else:
+            bin_index = min(max_bin, int(math.floor(math.log2(sample))))
+        counts[bin_index] += 1
+    if total == 0:
+        return [float("nan")] * (max_bin + 1)
+    cumulative = []
+    running = 0
+    for count in counts:
+        running += count
+        cumulative.append(100.0 * running / total)
+    return cumulative

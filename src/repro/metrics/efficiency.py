@@ -1,0 +1,26 @@
+"""The paper's concurrency-efficiency metric (Section 5.3).
+
+Given N applications whose per-round run times are t₁…t_N alone and
+t₁ᶜ…t_Nᶜ when running together, concurrency efficiency is Σᵢ tᵢ/tᵢᶜ —
+the sum of effective resource shares.  Below 1.0, resources were lost to
+management overhead or idling; above 1.0, the mix exhibited synergy
+(e.g. DMA/compute overlap).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Tuple
+
+
+def concurrency_efficiency(pairs: Iterable[Tuple[float, float]]) -> float:
+    """Sum of alone/concurrent round-time ratios.
+
+    ``pairs`` yields ``(t_alone, t_concurrent)`` per application.
+    """
+    total = 0.0
+    for t_alone, t_concurrent in pairs:
+        if math.isnan(t_alone) or math.isnan(t_concurrent) or t_concurrent <= 0:
+            return float("nan")
+        total += t_alone / t_concurrent
+    return total

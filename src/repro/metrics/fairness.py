@@ -1,0 +1,35 @@
+"""Fairness metrics for multiprogrammed runs."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def jain_index(shares: Iterable[float]) -> float:
+    """Jain's fairness index over resource shares: 1.0 is perfectly fair,
+    1/n is maximally unfair."""
+    values = [value for value in shares if value >= 0]
+    if not values:
+        return float("nan")
+    total = sum(values)
+    squares = sum(value * value for value in values)
+    if squares == 0:
+        return float("nan")
+    return (total * total) / (len(values) * squares)
+
+
+def max_slowdown_ratio(slowdowns: Iterable[float]) -> float:
+    """Ratio of the worst to the best slowdown among co-runners.
+
+    1.0 means perfectly even suffering; the paper's notion of fairness for
+    N co-runners is that nobody slows down "significantly more than" N×,
+    which this ratio captures relative to peers.
+    """
+    values = [value for value in slowdowns if not math.isnan(value)]
+    if not values:
+        return float("nan")
+    best = min(values)
+    if best <= 0:
+        return float("nan")
+    return max(values) / best

@@ -1,0 +1,67 @@
+"""Round-time collection.
+
+A "round" is the paper's user-visible unit of progress (one main-loop
+iteration for OpenCL applications, one frame for graphics).  Workloads
+record round boundaries into a :class:`RoundLog`; experiments summarize
+steady-state round times with :class:`RoundStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class RoundLog:
+    """Append-only log of (start, end) round intervals."""
+
+    def __init__(self) -> None:
+        self._starts: list[float] = []
+        self._ends: list[float] = []
+
+    def record(self, start: float, end: float) -> None:
+        if end < start:
+            raise ValueError("round ends before it starts")
+        self._starts.append(start)
+        self._ends.append(end)
+
+    def __len__(self) -> int:
+        return len(self._ends)
+
+    def stats(
+        self, warmup_us: float = 0.0, until_us: Optional[float] = None
+    ) -> "RoundStats":
+        """Summarize rounds that *completed* within the window."""
+        durations = [
+            end - start
+            for start, end in zip(self._starts, self._ends)
+            if end >= warmup_us and (until_us is None or end <= until_us)
+        ]
+        return RoundStats.from_durations(durations)
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Steady-state round-time summary."""
+
+    count: int
+    mean_us: float
+    median_us: float
+    p95_us: float
+
+    @classmethod
+    def from_durations(cls, durations: list[float]) -> "RoundStats":
+        if not durations:
+            return cls(0, float("nan"), float("nan"), float("nan"))
+        ordered = sorted(durations)
+        count = len(ordered)
+        mean = sum(ordered) / count
+        median = ordered[count // 2]
+        p95 = ordered[min(count - 1, int(0.95 * count))]
+        return cls(count, mean, median, p95)
+
+    def slowdown_vs(self, baseline: "RoundStats") -> float:
+        """Mean-round-time ratio against a solo-run baseline."""
+        if self.count == 0 or baseline.count == 0:
+            return float("nan")
+        return self.mean_us / baseline.mean_us

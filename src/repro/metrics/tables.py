@@ -1,0 +1,34 @@
+"""Plain-text table formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table (the experiments print these)."""
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,28 @@
+"""NEON — the interception layer between kernel and device.
+
+Models the paper's prototype (Section 4): the initialization-phase state
+machine that discovers each channel's three virtual memory areas
+(:mod:`~repro.neon.discovery`), engage/disengage control of channel
+register pages, reference-counter scans after re-engagement, and the
+barrier/drain machinery used by both disengaged schedulers
+(:mod:`~repro.neon.interception`, :mod:`~repro.neon.barrier`).
+
+Schedulers must obtain *all* device knowledge through this layer — faults,
+scans, and polling — never from simulator ground truth.
+"""
+
+from repro.neon.barrier import DrainResult
+from repro.neon.discovery import ChannelDiscovery, DiscoveryState, Vma, VmaKind
+from repro.neon.interception import InterceptionManager
+from repro.neon.stats import ChannelObservations, RequestSizeEstimator
+
+__all__ = [
+    "ChannelDiscovery",
+    "ChannelObservations",
+    "DiscoveryState",
+    "DrainResult",
+    "InterceptionManager",
+    "RequestSizeEstimator",
+    "Vma",
+    "VmaKind",
+]

@@ -1,0 +1,29 @@
+"""Barrier and drain results.
+
+A drain waits — through the polling service, at polling granularity — for
+every watched channel's reference counter to catch up with its last
+submitted reference number.  A timeout identifies channels whose requests
+appear stuck (runaway-request detection)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.channel import Channel
+
+
+@dataclass
+class DrainResult:
+    """Outcome of a drain operation."""
+
+    drained: bool
+    #: Channels still holding unfinished requests at timeout.
+    offenders: list["Channel"] = field(default_factory=list)
+    #: Virtual time spent waiting for the drain.
+    waited_us: float = 0.0
+
+    @property
+    def timed_out(self) -> bool:
+        return not self.drained

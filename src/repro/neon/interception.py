@@ -1,0 +1,246 @@
+"""The interception manager — NEON's kernel-internal interface.
+
+Everything a scheduler may legally do to learn about or control the device
+goes through this object:
+
+* flip channel-register pages between mapped (direct access) and protected
+  (faulting) — engagement control;
+* scan a channel's command queue for its last submitted reference number
+  (charged the paper's re-engagement status-update cost);
+* drain channels by watching reference counters through the polling
+  service (at polling granularity, with optional timeout for runaway
+  detection);
+* accumulate per-channel observed statistics from sampled requests.
+
+Methods that consume virtual time are generators meant to be driven from a
+scheduler's own process via ``yield from``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.neon.barrier import DrainResult
+from repro.neon.stats import ChannelObservations
+from repro.sim.events import AnyOf
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.channel import Channel
+    from repro.osmodel.kernel import Kernel
+    from repro.osmodel.task import Task
+
+
+class InterceptionManager:
+    """Tracks active channels and mediates all scheduler-device contact."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.costs = kernel.costs
+        self.polling = kernel.polling
+        self.channels: dict[int, "Channel"] = {}
+        self.observations: dict[int, ChannelObservations] = {}
+
+    # ------------------------------------------------------------------
+    # Channel tracking
+    # ------------------------------------------------------------------
+    def track(self, channel: "Channel") -> ChannelObservations:
+        """Begin tracking a newly active channel."""
+        self.channels[channel.channel_id] = channel
+        observation = ChannelObservations(channel.channel_id)
+        self.observations[channel.channel_id] = observation
+        return observation
+
+    def untrack(self, channel: "Channel") -> None:
+        self.channels.pop(channel.channel_id, None)
+        self.observations.pop(channel.channel_id, None)
+
+    def live_channels(self) -> list["Channel"]:
+        return [
+            channel for channel in self.channels.values() if not channel.dead
+        ]
+
+    def channels_of(self, task: "Task") -> list["Channel"]:
+        return [
+            channel
+            for channel in self.channels.values()
+            if not channel.dead and channel.task is task
+        ]
+
+    def observation(self, channel: "Channel") -> ChannelObservations:
+        return self.observations[channel.channel_id]
+
+    # ------------------------------------------------------------------
+    # Engagement control (page protection)
+    # ------------------------------------------------------------------
+    def engage_channel(self, channel: "Channel") -> int:
+        """Protect one register page; returns the number of flips (0/1)."""
+        if channel.register_page.protected:
+            return 0
+        channel.register_page.protect()
+        return 1
+
+    def disengage_channel(self, channel: "Channel") -> int:
+        """Restore direct mapping; returns the number of flips (0/1)."""
+        if not channel.register_page.protected:
+            return 0
+        channel.register_page.unprotect()
+        return 1
+
+    def engage_task(self, task: "Task") -> int:
+        return sum(self.engage_channel(c) for c in self.channels_of(task))
+
+    def disengage_task(self, task: "Task") -> int:
+        return sum(self.disengage_channel(c) for c in self.channels_of(task))
+
+    def engage_all(self) -> int:
+        """Barrier: stop new request submission in every task."""
+        return sum(self.engage_channel(c) for c in self.live_channels())
+
+    def flip_cost(self, flips: int) -> float:
+        """Page-table update cost for ``flips`` protection changes (µs)."""
+        return flips * self.costs.page_flip_us
+
+    # ------------------------------------------------------------------
+    # Scans (the post-re-engagement status update, Section 4)
+    # ------------------------------------------------------------------
+    def scan_channel(self, channel: "Channel"):
+        """Read the channel's last submitted reference number.
+
+        A generator: yields the scan cost, then returns the value.  Also
+        records it in the channel's observation log.
+        """
+        yield self.costs.reengage_scan_us
+        observation = self.observations.get(channel.channel_id)
+        if observation is not None:
+            observation.last_scanned_ref = channel.last_submitted_ref
+        return channel.last_submitted_ref
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    def drain(
+        self,
+        channels: Optional[Iterable["Channel"]] = None,
+        timeout_us: Optional[float] = None,
+    ):
+        """Wait until every given channel's submitted requests complete.
+
+        A generator returning a :class:`DrainResult`.  Completion is
+        observed through the polling service, so the wait resolves at
+        polling granularity.  With ``timeout_us``, channels still busy at
+        the deadline are reported as offenders (runaway detection).
+
+        Callers wanting barrier semantics must :meth:`engage_all` first so
+        no new requests slip in while draining.
+        """
+        start = self.sim.now
+        targets = list(channels) if channels is not None else self.live_channels()
+        pending: list["Channel"] = []
+        for channel in targets:
+            yield from self.scan_channel(channel)
+            if channel.refcounter < channel.last_submitted_ref:
+                pending.append(channel)
+        if not pending:
+            return DrainResult(True, [], self.sim.now - start)
+
+        remaining = len(pending)
+        all_done = self.sim.event()
+
+        def on_channel_drained(_channel: "Channel") -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0 and not all_done.triggered:
+                all_done.trigger()
+
+        watch_ids = [
+            self.polling.watch(
+                channel, channel.last_submitted_ref, on_channel_drained
+            )
+            for channel in pending
+        ]
+
+        if timeout_us is None:
+            yield all_done
+            return DrainResult(True, [], self.sim.now - start)
+
+        deadline = self.sim.event()
+        timer = self.sim.schedule(timeout_us, deadline.trigger)
+        first = yield AnyOf(self.sim, [all_done, deadline])
+        if first is all_done:
+            timer.cancel()
+            return DrainResult(True, [], self.sim.now - start)
+        for watch_id in watch_ids:
+            self.polling.cancel(watch_id)
+        offenders = [
+            channel
+            for channel in pending
+            if channel.refcounter < channel.last_submitted_ref
+        ]
+        return DrainResult(False, offenders, self.sim.now - start)
+
+    # ------------------------------------------------------------------
+    # Hardware preemption and runlist masking (§6.2 extensions)
+    # ------------------------------------------------------------------
+    @property
+    def preemption_available(self) -> bool:
+        """Whether the device documents preemption + runlist control."""
+        return self.kernel.device.params.preemption_supported
+
+    def preempt_task(self, task: "Task") -> bool:
+        """Preempt the task's running request, if any (needs hardware
+        support).  The remainder is saved and resumes when the channel is
+        next unmasked and served."""
+        if not self.preemption_available:
+            return False
+        preempted = False
+        for context in task.contexts:
+            for engine in self.kernel.device.engines:
+                preempted = engine.preempt_current(context) or preempted
+        return preempted
+
+    def mask_task(self, task: "Task") -> None:
+        """Remove the task's channels from the hardware runlist."""
+        for channel in self.channels_of(task):
+            channel.masked = True
+
+    def unmask_task(self, task: "Task") -> None:
+        """Reinstate the task's channels on the runlist."""
+        device = self.kernel.device
+        for channel in self.channels_of(task):
+            channel.masked = False
+            device._engine_for(channel.kind).notify()
+
+    # ------------------------------------------------------------------
+    # Runaway identification (the Section 6.2 hardware assist)
+    # ------------------------------------------------------------------
+    def identify_running_task(self):
+        """Which task's request is currently executing on the main engine.
+
+        The paper's prototype cannot see this and notes that "simple
+        documentation of existing mechanisms to identify ... the currently
+        running context would enable full protection for schedulers like
+        Disengaged Fair Queueing" (Section 6.2).  We model that documented
+        query; it is the one sanctioned device read outside reference
+        counters, used only to attribute a stuck drain to its culprit.
+        """
+        channel = self.kernel.device.main_engine.current_channel
+        if channel is None:
+            return None
+        return channel.task
+
+    # ------------------------------------------------------------------
+    # Observed statistics
+    # ------------------------------------------------------------------
+    def record_sampled_service(self, channel: "Channel", service_us: float) -> None:
+        """Feed one sampled request-size observation for a channel."""
+        observation = self.observations.get(channel.channel_id)
+        if observation is not None:
+            observation.sizes.record(service_us)
+
+    def estimated_request_size(self, channel: "Channel") -> Optional[float]:
+        """Mean observed request size for the channel, if any samples."""
+        observation = self.observations.get(channel.channel_id)
+        if observation is None:
+            return None
+        return observation.sizes.mean

@@ -1,0 +1,25 @@
+"""Operating-system model.
+
+Provides the pieces of the OS the paper's kernel module interacts with:
+tasks (the resource principals), the page-table protection model for
+channel-register pages, the request-submission paths (direct MMIO write
+vs. trapped/faulting write), the kernel polling service that detects
+request completions, and the cost parameters governing all of the above.
+"""
+
+from repro.osmodel.costs import CostParams
+from repro.osmodel.kernel import ChannelQuotaPolicy, Kernel, MemoryQuotaPolicy
+from repro.osmodel.pagetable import RegisterPage
+from repro.osmodel.polling import PollingService
+from repro.osmodel.task import Task, TaskState
+
+__all__ = [
+    "ChannelQuotaPolicy",
+    "CostParams",
+    "Kernel",
+    "MemoryQuotaPolicy",
+    "PollingService",
+    "RegisterPage",
+    "Task",
+    "TaskState",
+]

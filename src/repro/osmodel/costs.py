@@ -1,0 +1,140 @@
+"""Cost parameters of the OS/interception path.
+
+Values marked *paper* come directly from the paper's measurements on its
+2.27 GHz Xeon E5520 + GTX670 platform; the rest are chosen within the
+ranges the paper quotes ("thousands of CPU cycles" per kernel trap) and are
+recorded here so every efficiency number in EXPERIMENTS.md is traceable to
+an explicit assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Host CPU frequency used to convert the paper's cycle counts (paper).
+CPU_GHZ = 2.27
+
+
+@dataclass
+class CostParams:
+    """Costs (µs) and policy parameters of the modeled kernel."""
+
+    #: Direct doorbell write via the memory-mapped interface: 305 cycles on
+    #: the paper's GTX670 system (paper, Section 3).
+    direct_submit_us: float = 305 / (CPU_GHZ * 1000)
+
+    #: User/kernel mode switch including cache pollution and lost user-mode
+    #: IPC — "thousands of CPU cycles" (paper, Section 3); ~3.4k cycles.
+    trap_us: float = 1.5
+
+    #: Page-fault handler work beyond the bare trap: scanning channel
+    #: buffers for the reference counter, mapping it into kernel space,
+    #: invoking the scheduler (paper, Section 4).
+    fault_handle_us: float = 2.0
+
+    #: Single-stepping the faulting store and re-protecting the page.
+    singlestep_us: float = 0.8
+
+    #: Scheduler bookkeeping to unblock a previously delayed task.
+    unblock_us: float = 0.5
+
+    #: Polling-thread period (paper: woken "at 1ms intervals").
+    poll_interval_us: float = 1000.0
+
+    #: CPU work per watched channel per polling pass.
+    poll_check_us: float = 0.2
+
+    #: Post-re-engagement status update: scan the command queue, build
+    #: temporary kernel mappings, walk page tables to read the last
+    #: submitted reference value (paper, Section 4).  Per channel.
+    reengage_scan_us: float = 4.0
+
+    #: Page-table update cost to protect/unprotect one channel's register
+    #: page (token passing, barriers).
+    page_flip_us: float = 1.0
+
+    #: Timeslice length (paper: 30 ms).
+    timeslice_us: float = 30_000.0
+
+    #: Disengaged Fair Queueing sampling window: at most this long
+    #: (paper: 5 ms) ...
+    sample_max_us: float = 5_000.0
+
+    #: ... or until this many requests were observed, whichever is first
+    #: (paper: 32; raised to 96 for combined compute/graphics apps).
+    sample_max_requests: int = 32
+
+    #: Free-run period length as a multiple of the preceding engagement
+    #: episode (paper: 5x).
+    freerun_multiplier: float = 5.0
+
+    #: A sampling window ends early once the sampled task has been idle
+    #: (nothing outstanding, nothing submitted) for this long — "as many
+    #: requests as can be observed" (Section 3.3): an idle task offers
+    #: none, and waiting out the full window would idle the device.
+    sample_idle_end_us: float = 300.0
+
+    #: Polling period while a task is being *sampled* by Disengaged Fair
+    #: Queueing.  The paper wakes the polling thread "when the scheduler
+    #: decides"; fine-grained polling during the short sampling window is
+    #: what lets request-size estimates land within ~5% of profiling tools
+    #: (Section 5.1).
+    sampling_poll_interval_us: float = 20.0
+
+    #: Host CPU cores backing a finite :class:`~repro.osmodel.cpu.CpuPool`.
+    #: 0 (default) models the paper's uncontended case (one core per
+    #: runnable entity); a positive value makes application think time,
+    #: fault-handler work, and polling passes contend for cores.
+    cpu_cores: int = 0
+
+    #: Documented limit on how long any single request may run before the
+    #: submitting task is killed (paper: "a (documented) limit on the
+    #: maximum time that any request is permitted to run").
+    max_request_us: float = 1_000_000.0
+
+    #: Per-request syscall cost of the trap-per-request comparison stack of
+    #: Section 3 (AMD-Catalyst-style submission).  Calibrated so direct
+    #: access gains ~30% for 10 µs requests, matching the paper's 8–35%
+    #: range over 10–100 µs.
+    syscall_us: float = 3.2
+
+    #: Additional "nontrivial processing in GPU driver routines" per
+    #: request; with it, direct access gains up to ~170% (paper: 48–170%).
+    driver_work_us: float = 14.0
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on nonsensical settings."""
+        numeric_fields = (
+            self.direct_submit_us,
+            self.trap_us,
+            self.fault_handle_us,
+            self.singlestep_us,
+            self.unblock_us,
+            self.poll_interval_us,
+            self.poll_check_us,
+            self.reengage_scan_us,
+            self.page_flip_us,
+            self.timeslice_us,
+            self.sample_max_us,
+            self.freerun_multiplier,
+            self.max_request_us,
+            self.syscall_us,
+            self.driver_work_us,
+        )
+        if any(value < 0 for value in numeric_fields):
+            raise ValueError("cost parameters must be non-negative")
+        if self.poll_interval_us <= 0:
+            raise ValueError("poll_interval_us must be positive")
+        if self.timeslice_us <= 0:
+            raise ValueError("timeslice_us must be positive")
+        if self.sample_max_requests < 1:
+            raise ValueError("sample_max_requests must be >= 1")
+        if self.freerun_multiplier <= 0:
+            raise ValueError("freerun_multiplier must be positive")
+        if self.cpu_cores < 0:
+            raise ValueError("cpu_cores must be non-negative (0 = unlimited)")
+
+    @property
+    def intercept_us(self) -> float:
+        """Total per-request interception cost when engaged."""
+        return self.trap_us + self.fault_handle_us + self.singlestep_us

@@ -1,0 +1,33 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package provides the substrate on which the GPU device model, the OS
+model, and the schedulers are built.  It is intentionally small and
+dependency-free: a time-ordered event heap (:class:`~repro.sim.engine.Simulator`),
+one-shot :class:`~repro.sim.events.Event` objects, generator-based
+:class:`~repro.sim.process.Process` coroutines, named seeded random streams
+(:mod:`repro.sim.rng`), and a structured trace recorder
+(:mod:`repro.sim.trace`).
+
+Time is measured in floating-point **microseconds**.  All simultaneous
+events are ordered by insertion sequence, so runs are reproducible
+bit-for-bit given the same seed.
+"""
+
+from repro.sim.engine import Simulator, TimerHandle
+from repro.sim.events import AnyOf, Event
+from repro.sim.process import Process, ProcessKilled
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import NullRecorder, TraceRecord, TraceRecorder
+
+__all__ = [
+    "AnyOf",
+    "Event",
+    "NullRecorder",
+    "Process",
+    "ProcessKilled",
+    "RngRegistry",
+    "Simulator",
+    "TimerHandle",
+    "TraceRecord",
+    "TraceRecorder",
+]

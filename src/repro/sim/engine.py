@@ -1,0 +1,162 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns the virtual clock and a binary heap of scheduled
+callbacks.  Callbacks scheduled for the same instant fire in the order they
+were scheduled (FIFO tie-breaking by a monotonically increasing sequence
+number), which makes every simulation deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.events import Event
+from repro.sim.process import Process
+
+
+class TimerHandle:
+    """A cancellable handle for a scheduled callback.
+
+    Returned by :meth:`Simulator.schedule`.  Calling :meth:`cancel` before
+    the deadline prevents the callback from running; cancelling after it has
+    fired is a harmless no-op.
+    """
+
+    __slots__ = ("time", "seq", "_fn", "_args", "_cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self._fn = fn
+        self._args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent)."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __lt__(self, other: "TimerHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "armed"
+        return f"TimerHandle(t={self.time:.3f}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """Event-driven simulator with a microsecond-resolution virtual clock.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker():
+            yield 5.0            # sleep 5 microseconds
+            done.trigger("ok")
+
+        done = sim.event()
+        sim.spawn(worker(), name="worker")
+        sim.run(until=100.0)
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[TimerHandle] = []
+        self._seq = 0
+        self._running = False
+        self._processes: list[Process] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> TimerHandle:
+        """Run ``fn(*args)`` after ``delay`` microseconds of virtual time."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> TimerHandle:
+        """Run ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        handle = TimerHandle(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def event(self) -> Event:
+        """Create a fresh one-shot :class:`Event` bound to this simulator."""
+        return Event(self)
+
+    def spawn(
+        self, generator: Generator, name: Optional[str] = None
+    ) -> Process:
+        """Start a new coroutine process.
+
+        The generator is stepped for the first time via a zero-delay
+        callback, so spawning inside a running callback is safe.
+        """
+        process = Process(self, generator, name=name)
+        self._processes.append(process)
+        return process
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending callback.  Returns False when idle."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if handle.time < self.now:  # pragma: no cover - defensive
+                raise RuntimeError("event heap produced a past event")
+            self.now = handle.time
+            handle._fn(*handle._args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap is empty, or the clock passes ``until``.
+
+        When ``until`` is given, the clock is left exactly at ``until`` even
+        if later events remain queued (they stay queued and a subsequent
+        ``run`` call may continue).
+        """
+        if self._running:
+            raise RuntimeError("Simulator.run is not reentrant")
+        self._running = True
+        try:
+            if until is None:
+                while self.step():
+                    pass
+                return
+            while self._heap:
+                head = self._peek()
+                if head is None:
+                    break
+                if head.time > until:
+                    break
+                self.step()
+            if self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+
+    def _peek(self) -> Optional[TimerHandle]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) callbacks in the heap."""
+        return sum(1 for handle in self._heap if not handle.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self.now:.3f}, pending={self.pending_events})"

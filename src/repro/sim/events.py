@@ -1,0 +1,86 @@
+"""One-shot events and composite wait conditions."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event starts untriggered.  Calling :meth:`trigger` records a value,
+    marks the event triggered, and schedules all registered callbacks to run
+    at the current simulation time.  Callbacks added after triggering are
+    scheduled immediately.  Triggering twice raises ``RuntimeError``.
+    """
+
+    __slots__ = ("sim", "triggered", "value", "_callbacks", "_name")
+
+    def __init__(self, sim: "Simulator", name: Optional[str] = None) -> None:
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self._name = name
+
+    def trigger(self, value: Any = None) -> "Event":
+        """Fire the event, delivering ``value`` to all waiters."""
+        if self.triggered:
+            raise RuntimeError(f"event {self!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim.schedule(0.0, callback, self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)`` to run once the event triggers."""
+        if self.triggered:
+            self.sim.schedule(0.0, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    def discard_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Remove a previously registered callback if still pending."""
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self._name or "anonymous"
+        state = "triggered" if self.triggered else "pending"
+        return f"Event({label}, {state})"
+
+
+class AnyOf:
+    """Composite condition satisfied when any member event triggers.
+
+    Yielded from a process as ``first = yield AnyOf(sim, [a, b])``; the
+    resume value is the member :class:`Event` that fired first (earliest
+    trigger wins deterministically; later triggers are ignored).
+    """
+
+    __slots__ = ("sim", "events", "_proxy")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        self.sim = sim
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("AnyOf requires at least one event")
+        self._proxy = Event(sim, name="AnyOf")
+        for event in self.events:
+            event.add_callback(self._on_member)
+
+    def _on_member(self, event: Event) -> None:
+        if not self._proxy.triggered:
+            self._proxy.trigger(event)
+
+    @property
+    def proxy(self) -> Event:
+        """The internal one-shot event that fires on the first member."""
+        return self._proxy

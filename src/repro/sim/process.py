@@ -1,0 +1,131 @@
+"""Generator-based coroutine processes.
+
+A process wraps a Python generator.  The generator *yields* what it wants
+to wait for and is resumed by the simulator when the wait is satisfied:
+
+``yield 3.5``
+    sleep for 3.5 microseconds of virtual time;
+``yield event``
+    wait for an :class:`~repro.sim.events.Event`; the resume value is the
+    event's trigger value;
+``yield AnyOf(sim, [a, b])``
+    wait for the first of several events; the resume value is the member
+    event that fired;
+``yield process``
+    join another process; the resume value is its return value.
+
+A process may be killed asynchronously with :meth:`Process.kill`, which
+throws :class:`ProcessKilled` into the generator.  Generators may catch it
+to perform cleanup (and may even keep running — useful for modeling tasks
+that survive a scheduler's protective action), but by default the exception
+terminates them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import AnyOf, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator, TimerHandle
+
+
+class ProcessKilled(Exception):
+    """Thrown into a process generator when :meth:`Process.kill` is called."""
+
+    def __init__(self, reason: str = "") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class Process:
+    """A running coroutine inside a :class:`~repro.sim.engine.Simulator`."""
+
+    def __init__(
+        self, sim: "Simulator", generator: Generator, name: Optional[str] = None
+    ) -> None:
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self.alive = True
+        self.killed = False
+        self.done: Event = Event(sim, name=f"{self.name}.done")
+        self.return_value: Any = None
+        self._wait_token = 0
+        self._pending_timer: Optional["TimerHandle"] = None
+        sim.schedule(0.0, self._resume, self._wait_token, None, None)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def kill(self, reason: str = "") -> None:
+        """Throw :class:`ProcessKilled` into the generator.
+
+        Safe to call at any point while the process is suspended; a no-op
+        once the process has finished.
+        """
+        if not self.alive:
+            return
+        if self._pending_timer is not None:
+            self._pending_timer.cancel()
+            self._pending_timer = None
+        self._wait_token += 1  # invalidate any outstanding wakeups
+        token = self._wait_token
+        self.sim.schedule(0.0, self._resume, token, None, ProcessKilled(reason))
+
+    # ------------------------------------------------------------------
+    # Internal stepping machinery
+    # ------------------------------------------------------------------
+    def _resume(self, token: int, value: Any, exc: Optional[BaseException]) -> None:
+        if token != self._wait_token or not self.alive:
+            return  # stale wakeup from a cancelled wait
+        self._wait_token += 1
+        self._pending_timer = None
+        try:
+            if exc is not None:
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value, killed=False)
+            return
+        except ProcessKilled:
+            self._finish(None, killed=True)
+            return
+        self._arm(target)
+
+    def _arm(self, target: Any) -> None:
+        """Register the wakeup corresponding to whatever was yielded."""
+        token = self._wait_token
+
+        if isinstance(target, (int, float)):
+            self._pending_timer = self.sim.schedule(
+                float(target), self._resume, token, None, None
+            )
+        elif isinstance(target, Event):
+            target.add_callback(
+                lambda event, token=token: self._resume(token, event.value, None)
+            )
+        elif isinstance(target, AnyOf):
+            target.proxy.add_callback(
+                lambda event, token=token: self._resume(token, event.value, None)
+            )
+        elif isinstance(target, Process):
+            target.done.add_callback(
+                lambda event, token=token: self._resume(token, event.value, None)
+            )
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded unsupported value: {target!r}"
+            )
+
+    def _finish(self, value: Any, killed: bool) -> None:
+        self.alive = False
+        self.killed = killed
+        self.return_value = value
+        self.done.trigger(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else ("killed" if self.killed else "done")
+        return f"Process({self.name}, {state})"

@@ -1,0 +1,72 @@
+"""Structured trace recording.
+
+Components emit :class:`TraceRecord` entries (time, source, kind, payload)
+into a shared :class:`TraceRecorder`.  Traces power the CDF analyses of
+Figure 2 and are invaluable when debugging scheduler interleavings.
+Recording is cheap and can be filtered by kind to bound memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    source: str
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Append-only store of trace records with simple querying.
+
+    Parameters
+    ----------
+    kinds:
+        If given, only records whose ``kind`` is in this set are kept;
+        everything else is dropped at emission time.
+    """
+
+    def __init__(self, kinds: Optional[Iterable[str]] = None) -> None:
+        self._records: list[TraceRecord] = []
+        self._kinds: Optional[frozenset[str]] = (
+            frozenset(kinds) if kinds is not None else None
+        )
+
+    def emit(self, time: float, source: str, kind: str, **payload: Any) -> None:
+        """Record an event if its kind passes the filter."""
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        self._records.append(TraceRecord(time, source, kind, payload))
+
+    def records(
+        self, kind: Optional[str] = None, source: Optional[str] = None
+    ) -> Iterator[TraceRecord]:
+        """Iterate records, optionally filtered by kind and/or source."""
+        for record in self._records:
+            if kind is not None and record.kind != kind:
+                continue
+            if source is not None and record.source != source:
+                continue
+            yield record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+
+class NullRecorder(TraceRecorder):
+    """A recorder that drops everything; the default when tracing is off."""
+
+    def __init__(self) -> None:
+        super().__init__(kinds=())
+
+    def emit(self, time: float, source: str, kind: str, **payload: Any) -> None:
+        return

@@ -1,0 +1,47 @@
+"""Workload models.
+
+:class:`~repro.workloads.throttle.Throttle` is the paper's controlled
+microbenchmark (request size and sleep ratio are free parameters).  The
+Table 1 applications are modeled as per-round request mixtures calibrated
+to the paper's measured round times and average request sizes
+(:mod:`~repro.workloads.profiles`), executed by
+:class:`~repro.workloads.apps.ProfiledApp`.  Adversarial workloads for the
+protection experiments live in :mod:`~repro.workloads.adversarial`.
+"""
+
+from repro.workloads.adversarial import (
+    ChannelHog,
+    GreedyBatcher,
+    InfiniteKernel,
+    MemoryHog,
+)
+from repro.workloads.apps import ProfiledApp, make_app
+from repro.workloads.base import Workload
+from repro.workloads.profiles import APP_PROFILES, AppProfile, RequestBurst
+from repro.workloads.throttle import Throttle
+from repro.workloads.traces import (
+    TraceEntry,
+    TraceWorkload,
+    load_trace_csv,
+    save_trace_csv,
+    synthesize_poisson_trace,
+)
+
+__all__ = [
+    "APP_PROFILES",
+    "AppProfile",
+    "ChannelHog",
+    "GreedyBatcher",
+    "InfiniteKernel",
+    "MemoryHog",
+    "ProfiledApp",
+    "RequestBurst",
+    "Throttle",
+    "TraceEntry",
+    "TraceWorkload",
+    "Workload",
+    "load_trace_csv",
+    "make_app",
+    "save_trace_csv",
+    "synthesize_poisson_trace",
+]

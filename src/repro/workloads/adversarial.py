@@ -1,0 +1,111 @@
+"""Adversarial and misbehaving workloads for the protection experiments.
+
+These exercise the paper's safety claims: an infinite-loop compute request
+(the Section 3.1 denial-of-service), a greedy batcher that inflates its
+request sizes to hog a work-conserving device, and a channel hog mounting
+the Section 6.3 channel-exhaustion attack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.gpu.device import OutOfResourcesError
+from repro.gpu.request import RequestKind
+from repro.workloads.base import Workload
+
+
+class InfiniteKernel(Workload):
+    """Behaves normally for a while, then submits a request that never
+    completes.  A fair-and-safe scheduler must detect and kill it."""
+
+    def __init__(
+        self,
+        normal_size_us: float = 100.0,
+        normal_requests: int = 20,
+        name: str = "infinite-kernel",
+    ) -> None:
+        super().__init__(name)
+        self.normal_size_us = normal_size_us
+        self.normal_requests = normal_requests
+
+    def body(self):
+        channel = self.open_channel(RequestKind.COMPUTE)
+        for _ in range(self.normal_requests):
+            start = self.sim.now
+            yield from self.submit(channel, self.normal_size_us)
+            self.rounds.record(start, self.sim.now)
+        # The attack: a compute kernel with an infinite loop.
+        yield from self.submit(channel, math.inf)
+
+
+class GreedyBatcher(Workload):
+    """A selfish application that batches work into outsized requests to
+    grab a larger share of a work-conserving device (Section 1)."""
+
+    def __init__(
+        self,
+        work_unit_us: float = 50.0,
+        batch_factor: int = 20,
+        name: str = "greedy-batcher",
+    ) -> None:
+        super().__init__(name)
+        self.work_unit_us = work_unit_us
+        self.batch_factor = batch_factor
+
+    def body(self):
+        channel = self.open_channel(RequestKind.COMPUTE)
+        batch_size = self.work_unit_us * self.batch_factor
+        while True:
+            start = self.sim.now
+            yield from self.submit(channel, batch_size)
+            # One round is one batch = batch_factor units of useful work.
+            self.rounds.record(start, self.sim.now)
+
+
+class MemoryHog(Workload):
+    """Allocates device memory in large chunks until refused — the memory
+    half of Section 6.3's abuse scenarios."""
+
+    def __init__(self, chunk_mib: float = 128.0, name: str = "memory-hog") -> None:
+        super().__init__(name)
+        self.chunk_mib = chunk_mib
+        self.allocated_mib = 0.0
+        self.denied: Optional[str] = None
+
+    def body(self):
+        context = self.kernel.open_context(self.task)
+        try:
+            while True:
+                self.kernel.allocate_memory(self.task, context, self.chunk_mib)
+                self.allocated_mib += self.chunk_mib
+                yield 5.0  # an allocation syscall's worth of time
+        except OutOfResourcesError as error:
+            self.denied = str(error)
+        yield self.sim.event()  # hold the memory and idle forever
+
+
+class ChannelHog(Workload):
+    """Opens contexts and channels until the device (or the quota policy)
+    refuses, then sits on them — the Section 6.3 DoS."""
+
+    def __init__(self, name: str = "channel-hog") -> None:
+        super().__init__(name)
+        self.contexts_opened = 0
+        self.channels_opened = 0
+        self.denied: Optional[str] = None
+
+    def body(self):
+        try:
+            while True:
+                context = self.kernel.open_context(self.task)
+                self.contexts_opened += 1
+                for kind in (RequestKind.COMPUTE, RequestKind.DMA):
+                    self.kernel.open_channel(self.task, context, kind)
+                    self.channels_opened += 1
+                yield 1.0  # a syscall's worth of setup time per context
+        except OutOfResourcesError as error:
+            self.denied = str(error)
+        # Hold everything and idle forever.
+        yield self.sim.event()

@@ -1,0 +1,153 @@
+"""Trace-driven workloads.
+
+Besides the closed-loop application models, experiments sometimes need
+*open-loop* request streams — fixed submission times regardless of
+completion progress (e.g. to replay a recorded production trace, or to
+stress a scheduler with precisely shaped arrivals).  This module provides:
+
+* :class:`TraceEntry` / :class:`TraceWorkload` — replay a list of
+  (time, size, kind) submissions, open- or closed-loop;
+* :func:`synthesize_poisson_trace` — Poisson arrivals with lognormal
+  sizes, the standard synthetic stand-in when real traces are private;
+* :func:`save_trace_csv` / :func:`load_trace_csv` — a plain-text trace
+  interchange format.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.gpu.request import RequestKind
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One request in a trace."""
+
+    at_us: float  # submission time relative to workload start
+    size_us: float
+    kind: RequestKind = RequestKind.COMPUTE
+
+    def validate(self) -> None:
+        if self.at_us < 0:
+            raise ValueError("trace times must be non-negative")
+        if self.size_us <= 0:
+            raise ValueError("trace sizes must be positive")
+
+
+class TraceWorkload(Workload):
+    """Replays a trace.
+
+    ``open_loop=True`` submits each entry at its recorded time (falling
+    behind only by the submission path itself) with non-blocking requests;
+    ``open_loop=False`` treats the inter-arrival gaps as think time and
+    blocks on each request — a closed-loop replay.  A round is one
+    request, timed from its scheduled submission to completion (i.e.
+    open-loop rounds include queueing delay, the latency a trace consumer
+    cares about).
+    """
+
+    def __init__(
+        self,
+        entries: Sequence[TraceEntry],
+        name: str = "trace",
+        open_loop: bool = True,
+        repeat: bool = False,
+    ) -> None:
+        super().__init__(name)
+        self.entries = list(entries)
+        for entry in self.entries:
+            entry.validate()
+        if not self.entries:
+            raise ValueError("a trace needs at least one entry")
+        if sorted(e.at_us for e in self.entries) != [
+            e.at_us for e in self.entries
+        ]:
+            raise ValueError("trace entries must be time-ordered")
+        self.open_loop = open_loop
+        self.repeat = repeat
+
+    def body(self):
+        kinds = {entry.kind for entry in self.entries}
+        channels = {kind: self.open_channel(kind) for kind in kinds}
+        epoch = self.sim.now
+        while True:
+            for previous_at, entry in zip(
+                [0.0] + [e.at_us for e in self.entries], self.entries
+            ):
+                if self.open_loop:
+                    target = epoch + entry.at_us
+                    if target > self.sim.now:
+                        yield target - self.sim.now
+                    scheduled = self.sim.now
+                    completion = yield from self.submit(
+                        channels[entry.kind], entry.size_us, blocking=False
+                    )
+                    completion.add_callback(
+                        lambda ev, s=scheduled: self.rounds.record(s, self.sim.now)
+                    )
+                else:
+                    gap = entry.at_us - previous_at
+                    if gap > 0:
+                        yield gap
+                    start = self.sim.now
+                    yield from self.submit(channels[entry.kind], entry.size_us)
+                    self.rounds.record(start, self.sim.now)
+            if not self.repeat:
+                break
+            epoch = self.sim.now
+        # Open-loop: wait out any stragglers before exiting.
+        yield from self.drain_pipeline()
+
+
+def synthesize_poisson_trace(
+    rng: np.random.Generator,
+    rate_per_ms: float,
+    mean_size_us: float,
+    duration_us: float,
+    size_sigma: float = 0.5,
+    kind: RequestKind = RequestKind.COMPUTE,
+) -> list[TraceEntry]:
+    """Poisson arrivals with lognormal service sizes."""
+    if rate_per_ms <= 0 or mean_size_us <= 0 or duration_us <= 0:
+        raise ValueError("rate, size, and duration must be positive")
+    entries = []
+    now = 0.0
+    mu = np.log(mean_size_us) - size_sigma**2 / 2
+    while True:
+        now += float(rng.exponential(1000.0 / rate_per_ms))
+        if now >= duration_us:
+            break
+        size = float(np.exp(rng.normal(mu, size_sigma)))
+        entries.append(TraceEntry(at_us=now, size_us=max(size, 0.1), kind=kind))
+    return entries
+
+
+def save_trace_csv(entries: Iterable[TraceEntry], path: Union[str, Path]) -> None:
+    """Write a trace as ``at_us,size_us,kind`` rows."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["at_us", "size_us", "kind"])
+        for entry in entries:
+            writer.writerow([entry.at_us, entry.size_us, entry.kind.value])
+
+
+def load_trace_csv(path: Union[str, Path]) -> list[TraceEntry]:
+    """Read a trace written by :func:`save_trace_csv`."""
+    entries = []
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            entries.append(
+                TraceEntry(
+                    at_us=float(row["at_us"]),
+                    size_us=float(row["size_us"]),
+                    kind=RequestKind(row["kind"]),
+                )
+            )
+    return entries

@@ -1,0 +1,60 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart, sparkline
+
+
+def test_bar_chart_scales_to_longest():
+    art = bar_chart([("a", 1.0), ("b", 2.0)], width=10)
+    lines = art.splitlines()
+    assert lines[0].count("#") == 5
+    assert lines[1].count("#") == 10
+    assert "2" in lines[1]
+
+
+def test_bar_chart_pinned_scale_marks_overflow():
+    art = bar_chart([("x", 4.0)], width=10, max_value=2.0)
+    assert "+" in art
+
+
+def test_bar_chart_rejects_negative():
+    with pytest.raises(ValueError):
+        bar_chart([("x", -1.0)])
+
+
+def test_bar_chart_empty():
+    assert bar_chart([]) == "(no data)"
+
+
+def test_bar_chart_all_zero():
+    art = bar_chart([("z", 0.0)], width=10)
+    assert "#" not in art
+
+
+def test_sparkline_monotone():
+    strip = sparkline([1.0, 2.0, 3.0, 4.0])
+    assert len(strip) == 4
+    levels = " .:-=+*#%@"
+    assert levels.index(strip[0]) < levels.index(strip[-1])
+
+
+def test_sparkline_flat_and_empty():
+    assert sparkline([]) == ""
+    flat = sparkline([5.0, 5.0, 5.0])
+    assert len(set(flat)) == 1
+
+
+def test_grouped_chart_shares_scale():
+    art = grouped_bar_chart(
+        [
+            ("g1", [("a", 1.0)]),
+            ("g2", [("b", 4.0)]),
+        ],
+        width=8,
+    )
+    lines = art.splitlines()
+    assert lines[0] == "g1"
+    a_bar = lines[1].count("#")
+    b_bar = lines[3].count("#")
+    assert b_bar == 8 and a_bar == 2

@@ -1,0 +1,54 @@
+"""Tests for JSON result persistence."""
+
+import math
+
+from repro.analysis.persist import load_results, save_results
+from repro.experiments.figure6 import PairOutcome
+
+
+def test_dataclass_round_trip(tmp_path):
+    outcome = PairOutcome(
+        app="DCT",
+        throttle_size_us=19.0,
+        scheduler="dfq",
+        app_alone_us=100.0,
+        app_concurrent_us=200.0,
+        throttle_alone_us=19.0,
+        throttle_concurrent_us=40.0,
+    )
+    path = tmp_path / "results.json"
+    save_results([outcome], path, metadata={"seed": 0})
+    loaded = load_results(path)
+    assert loaded["metadata"] == {"seed": 0}
+    row = loaded["results"][0]
+    assert row["__dataclass__"] == "PairOutcome"
+    assert row["app"] == "DCT"
+    assert row["app_concurrent_us"] == 200.0
+
+
+def test_nan_and_inf_round_trip(tmp_path):
+    path = tmp_path / "odd.json"
+    save_results(
+        {"nan": float("nan"), "inf": float("inf"), "neg": float("-inf")}, path
+    )
+    loaded = load_results(path)["results"]
+    assert math.isnan(loaded["nan"])
+    assert loaded["inf"] == float("inf")
+    assert loaded["neg"] == float("-inf")
+
+
+def test_nested_structures(tmp_path):
+    path = tmp_path / "nested.json"
+    save_results({"rows": [(1, 2.5), (3, 4.5)], "tag": None}, path)
+    loaded = load_results(path)["results"]
+    assert loaded["rows"] == [[1, 2.5], [3, 4.5]]
+    assert loaded["tag"] is None
+
+
+def test_enum_leaves_become_strings(tmp_path):
+    from repro.gpu.request import RequestKind
+
+    path = tmp_path / "enum.json"
+    save_results({"kind": RequestKind.COMPUTE}, path)
+    loaded = load_results(path)["results"]
+    assert loaded["kind"] == "RequestKind.COMPUTE"

@@ -1,0 +1,44 @@
+"""Tests for the paper-claim reference data."""
+
+import pytest
+
+from repro.analysis.reference import PAPER, check_claim, shape_report
+
+
+def test_claims_have_valid_bands():
+    for claim in PAPER.values():
+        assert claim.low <= claim.high
+        # The paper's own value always sits inside the acceptance band.
+        assert claim.low <= claim.paper_value <= claim.high, claim.key
+
+
+def test_check_claim():
+    assert check_claim("dos_context_limit", 48.0)
+    assert not check_claim("dos_context_limit", 47.0)
+
+
+def test_unknown_claim_raises():
+    with pytest.raises(KeyError):
+        check_claim("no-such-claim", 1.0)
+
+
+def test_shape_report_verdicts():
+    report = shape_report(
+        {"dos_context_limit": 48.0, "fig6_fair_pair_slowdown": 9.0}
+    )
+    assert "ok" in report
+    assert "OUT OF BAND" in report
+
+
+def test_shape_report_unknown_key():
+    assert "UNKNOWN CLAIM" in shape_report({"bogus": 1.0})
+
+
+def test_headline_claims_present():
+    for key in (
+        "fig7_dfq_mean_loss",
+        "fig7_dfq_max_loss",
+        "dos_context_limit",
+        "gears_anomaly_disparity",
+    ):
+        assert key in PAPER

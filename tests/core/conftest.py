@@ -1,0 +1,43 @@
+"""Scheduler-test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import build_env, run_workloads
+from repro.osmodel.costs import CostParams
+from repro.workloads.throttle import Throttle
+
+
+@pytest.fixture
+def fast_costs() -> CostParams:
+    """Short periods for quick scheduler convergence in tests."""
+    costs = CostParams()
+    costs.timeslice_us = 3_000.0
+    costs.sample_max_us = 1_000.0
+    costs.max_request_us = 15_000.0
+    return costs
+
+
+def run_pair(
+    scheduler: str,
+    costs: CostParams,
+    size_a: float = 100.0,
+    size_b: float = 400.0,
+    duration_us: float = 150_000.0,
+    seed: int = 0,
+):
+    """Run two Throttles; return (env, workload_a, workload_b)."""
+    env = build_env(scheduler, seed=seed, costs=costs)
+    a = Throttle(size_a, name="task-a")
+    b = Throttle(size_b, name="task-b")
+    run_workloads(env, [a, b], duration_us, warmup_us=duration_us / 5)
+    return env, a, b
+
+
+def usage_share(env, workload) -> float:
+    usage = env.device.task_usage(workload.task)
+    total = sum(
+        env.device.task_usage(task) for task in env.kernel.tasks
+    )
+    return usage / total if total else float("nan")

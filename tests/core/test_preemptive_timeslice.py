@@ -1,0 +1,59 @@
+"""Scheduler-level preemption tests (§6.2 what-if)."""
+
+import pytest
+
+from repro.experiments.runner import build_env, run_workloads
+from repro.gpu.params import GpuParams
+from repro.workloads.adversarial import InfiniteKernel
+from repro.workloads.throttle import Throttle
+
+from tests.core.conftest import usage_share
+
+
+@pytest.fixture
+def preemptive_params():
+    params = GpuParams()
+    params.preemption_supported = True
+    return params
+
+
+@pytest.mark.parametrize("scheduler", ["timeslice", "disengaged-timeslice"])
+def test_runaway_contained_not_killed(scheduler, fast_costs, preemptive_params):
+    env = build_env(scheduler, costs=fast_costs, gpu_params=preemptive_params)
+    attacker = InfiniteKernel(normal_size_us=50.0, normal_requests=3)
+    victim = Throttle(100.0, name="victim")
+    run_workloads(env, [attacker, victim], 150_000.0, 30_000.0)
+    assert not attacker.killed  # tolerated, not killed
+    assert len(victim.rounds) > 200  # and the victim still makes progress
+    share = usage_share(env, victim)
+    assert share > 0.25
+
+
+@pytest.mark.parametrize("scheduler", ["timeslice", "disengaged-timeslice"])
+def test_fairness_preserved_with_preemption(
+    scheduler, fast_costs, preemptive_params
+):
+    env = build_env(scheduler, costs=fast_costs, gpu_params=preemptive_params)
+    small = Throttle(50.0, name="small")
+    large = Throttle(500.0, name="large")
+    run_workloads(env, [small, large], 200_000.0, 40_000.0)
+    assert 0.35 < usage_share(env, small) < 0.65
+
+
+def test_preemptions_actually_happen(fast_costs, preemptive_params):
+    env = build_env("timeslice", costs=fast_costs, gpu_params=preemptive_params)
+    # Requests longer than the timeslice force a preemption at every edge.
+    hog = Throttle(fast_costs.timeslice_us * 1.5, name="hog")
+    peer = Throttle(100.0, name="peer")
+    run_workloads(env, [hog, peer], 150_000.0, 0.0)
+    assert env.device.main_engine.preemptions > 5
+
+
+def test_multi_slice_requests_complete(fast_costs, preemptive_params):
+    env = build_env("timeslice", costs=fast_costs, gpu_params=preemptive_params)
+    hog = Throttle(fast_costs.timeslice_us * 2.5, name="hog")
+    peer = Throttle(100.0, name="peer")
+    run_workloads(env, [hog, peer], 200_000.0, 0.0)
+    # Requests spanning multiple slices still finish (state save/restore).
+    assert len(hog.rounds) >= 5
+    assert not hog.killed

@@ -1,0 +1,51 @@
+"""Tests for the TimeGraph reservation baseline."""
+
+import pytest
+
+from repro.core.timegraph import TimeGraphReservation
+from repro.experiments.runner import build_env, run_workloads
+from repro.workloads.throttle import Throttle
+
+from tests.core.conftest import run_pair, usage_share
+
+
+def test_equal_reservations_give_equal_shares(fast_costs):
+    env, small, large = run_pair(
+        "timegraph", fast_costs, size_a=50.0, size_b=500.0, duration_us=250_000.0
+    )
+    assert 0.3 < usage_share(env, small) < 0.7
+
+
+def test_explicit_reservation_is_honored(fast_costs):
+    scheduler = TimeGraphReservation(reservations={"vip": 0.75})
+    env = build_env(scheduler, costs=fast_costs)
+    vip = Throttle(200.0, name="vip")
+    peasant = Throttle(200.0, name="peasant")
+    run_workloads(env, [vip, peasant], 250_000.0, 50_000.0)
+    vip_share = usage_share(env, vip)
+    assert vip_share > 0.6, f"vip got only {vip_share:.2f}"
+
+
+def test_unreserved_tasks_split_remainder():
+    scheduler = TimeGraphReservation(reservations={"vip": 0.5})
+    env = build_env(scheduler)
+    vip = Throttle(100.0, name="vip")
+    a = Throttle(100.0, name="a")
+    b = Throttle(100.0, name="b")
+    run_workloads(env, [vip, a, b], 50_000.0, 10_000.0)
+    assert scheduler.share_of(vip.task) == pytest.approx(0.5)
+    assert scheduler.share_of(a.task) == pytest.approx(0.25)
+    assert scheduler.share_of(b.task) == pytest.approx(0.25)
+
+
+def test_posterior_enforcement_penalizes_overuse(fast_costs):
+    env, small, large = run_pair(
+        "timegraph", fast_costs, size_a=50.0, size_b=800.0, duration_us=150_000.0
+    )
+    assert env.scheduler.penalties > 0
+
+
+def test_every_request_intercepted(fast_costs):
+    env, a, b = run_pair("timegraph", fast_costs, duration_us=40_000.0)
+    for channel in env.device.channels.values():
+        assert channel.register_page.protected

@@ -1,0 +1,93 @@
+"""Tests for the virtual-time table (the paper's three maintenance steps)."""
+
+import pytest
+
+from repro.core.virtual_time import VirtualTimeTable
+
+
+def test_new_task_starts_at_system_vt():
+    table = VirtualTimeTable()
+    table.advance(1, 100.0)
+    table.update_system([1])
+    assert table.ensure(2) == table.system_vt
+
+
+def test_advance_accumulates():
+    table = VirtualTimeTable()
+    table.advance(1, 10.0)
+    table.advance(1, 15.0)
+    assert table.get(1) == 25.0
+
+
+def test_advance_rejects_negative():
+    table = VirtualTimeTable()
+    with pytest.raises(ValueError):
+        table.advance(1, -1.0)
+
+
+def test_system_vt_is_oldest_active():
+    table = VirtualTimeTable()
+    table.advance(1, 100.0)
+    table.advance(2, 40.0)
+    table.update_system([1, 2])
+    assert table.system_vt == 40.0
+
+
+def test_system_vt_never_regresses():
+    table = VirtualTimeTable()
+    table.advance(1, 100.0)
+    table.update_system([1])
+    table.ensure(2)  # starts at 100
+    table.update_system([2])
+    assert table.system_vt == 100.0
+    # Even an explicitly slow set cannot pull it back.
+    table._vt[3] = 50.0
+    table.update_system([3])
+    assert table.system_vt == 100.0
+
+
+def test_update_system_with_no_actives_keeps_value():
+    table = VirtualTimeTable()
+    table.advance(1, 100.0)
+    table.update_system([1])
+    before = table.system_vt
+    table.update_system([])
+    assert table.system_vt == before
+
+
+def test_lift_inactive_forfeits_banked_credit():
+    """Step 2: an idle task cannot hoard claims from its idle period."""
+    table = VirtualTimeTable()
+    table.advance(1, 200.0)
+    table.update_system([1])
+    table.ensure(2)
+    table._vt[2] = 50.0  # simulate an old, stale value
+    table.lift_inactive(2)
+    assert table.get(2) == table.system_vt
+
+
+def test_lift_inactive_never_moves_backwards():
+    table = VirtualTimeTable()
+    table.advance(1, 10.0)
+    table.update_system([1])
+    table.advance(2, 500.0)
+    ahead = table.get(2)
+    table.lift_inactive(2)
+    assert table.get(2) == ahead  # already ahead of system vt: unchanged
+
+
+def test_lag():
+    table = VirtualTimeTable()
+    table.advance(1, 100.0)
+    table.advance(2, 30.0)
+    table.update_system([1, 2])
+    assert table.lag(1) == 70.0
+    assert table.lag(2) == 0.0
+
+
+def test_forget():
+    table = VirtualTimeTable()
+    table.advance(1, 10.0)
+    table.forget(1)
+    assert len(table) == 0
+    assert table.get(1) == table.system_vt

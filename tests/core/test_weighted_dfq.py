@@ -1,0 +1,46 @@
+"""Tests for weighted Disengaged Fair Queueing (proportional shares)."""
+
+import pytest
+
+from repro.core.disengaged_fq import DisengagedFairQueueing
+from repro.experiments.runner import build_env, run_workloads
+from repro.workloads.throttle import Throttle
+
+from tests.core.conftest import usage_share
+
+
+def _weighted_run(weights, duration_us=300_000.0, costs=None):
+    scheduler = DisengagedFairQueueing(weights=weights)
+    env = build_env(scheduler, costs=costs)
+    gold = Throttle(600.0, name="gold")
+    bronze = Throttle(600.0, name="bronze")
+    run_workloads(env, [gold, bronze], duration_us, duration_us / 5)
+    return env, gold, bronze
+
+
+def test_equal_weights_equal_shares(fast_costs):
+    env, gold, bronze = _weighted_run({}, costs=fast_costs)
+    assert 0.4 < usage_share(env, gold) < 0.6
+
+
+def test_weight_3_gets_about_three_quarters(fast_costs):
+    env, gold, bronze = _weighted_run({"gold": 3.0}, costs=fast_costs)
+    share = usage_share(env, gold)
+    assert share > 0.6, f"gold share {share:.2f}"
+
+
+def test_weights_do_not_break_protection(fast_costs):
+    from repro.workloads.adversarial import InfiniteKernel
+
+    scheduler = DisengagedFairQueueing(weights={"victim": 2.0})
+    env = build_env(scheduler, costs=fast_costs)
+    attacker = InfiniteKernel(normal_size_us=50.0, normal_requests=3)
+    victim = Throttle(100.0, name="victim")
+    run_workloads(env, [attacker, victim], 200_000.0, 0.0)
+    assert attacker.killed
+    assert not victim.killed
+
+
+def test_default_weight_is_one():
+    scheduler = DisengagedFairQueueing()
+    assert scheduler.share_weights == {}

@@ -1,0 +1,144 @@
+"""Smoke tests for every experiment driver at reduced durations.
+
+Each driver must run end-to-end and reproduce the *shape* of its paper
+result.  Full-scale comparisons live in EXPERIMENTS.md; these tests keep
+the drivers honest under refactoring.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    figure2,
+    figure4,
+    figure5,
+    figure6,
+    figure8,
+    figure9,
+    protection,
+    section3_throughput,
+    section6_dos,
+    table1,
+)
+
+QUICK = dict(duration_us=120_000.0, warmup_us=20_000.0)
+
+
+def test_table1_rows_track_paper():
+    rows = table1.run(
+        duration_us=80_000.0, warmup_us=15_000.0, apps=["DCT", "FFT", "glxgears"]
+    )
+    assert len(rows) == 3
+    for row in rows:
+        assert abs(row.round_error) < 0.25
+
+
+def test_figure2_short_requests_dominate():
+    series = figure2.run(duration_us=80_000.0, warmup_us=10_000.0)
+    by_app = {entry.app: entry for entry in series}
+    assert by_app["glxgears"].short_request_fraction >= 0.45
+    assert by_app["oclParticles"].short_request_fraction >= 0.5
+    for entry in series:
+        assert len(entry.service) > 20
+        assert entry.interarrival.quantile(0.5) < 2_000.0
+
+
+def test_section3_direct_always_wins_and_gains_shrink_with_size():
+    rows = section3_throughput.run(duration_us=60_000.0)
+    for row in rows:
+        assert row.direct_vs_syscall_gain > 0
+        assert row.direct_vs_driver_gain > row.direct_vs_syscall_gain
+    gains = [row.direct_vs_syscall_gain for row in rows]
+    assert gains == sorted(gains, reverse=True)
+    # Paper: 8-35% (bare trap) and 48-170% (driver work) at the small end.
+    assert 0.10 < rows[0].direct_vs_syscall_gain < 0.45
+    assert 0.8 < rows[0].direct_vs_driver_gain < 2.2
+
+
+def test_figure4_disengaged_cheaper_than_engaged():
+    rows = figure4.run(apps=["DCT", "glxgears"], **QUICK)
+    for row in rows:
+        engaged = row.slowdowns["timeslice"]
+        assert row.slowdowns["disengaged-timeslice"] < engaged
+        assert row.slowdowns["disengaged-timeslice"] < 1.10
+        assert row.slowdowns["dfq"] < 1.15
+
+
+def test_figure5_engaged_cost_shrinks_with_request_size():
+    rows = figure5.run(sizes=(19.0, 303.0, 1700.0), **QUICK)
+    engaged = [row.slowdowns["timeslice"] for row in rows]
+    assert engaged[0] > engaged[-1]
+    assert engaged[0] > 1.15  # hurts small requests
+    assert engaged[-1] < 1.05  # cheap for large ones
+
+
+def test_figure6_schedulers_restore_fairness():
+    # DFQ's denial cycle needs a few 50 ms engagement periods to converge.
+    outcomes = figure6.run(
+        duration_us=300_000.0,
+        warmup_us=60_000.0,
+        apps=("DCT",),
+        sizes=(1700.0,),
+        schedulers=("direct", "dfq"),
+    )
+    direct = next(o for o in outcomes if o.scheduler == "direct")
+    dfq = next(o for o in outcomes if o.scheduler == "dfq")
+    assert direct.app_slowdown > 8.0
+    assert dfq.app_slowdown < 3.0
+    assert dfq.throttle_slowdown < 3.0
+
+
+def test_figure8_four_way():
+    rows = figure8.run(duration_us=250_000.0, warmup_us=50_000.0,
+                       schedulers=("direct", "dfq"))
+    direct = next(r for r in rows if r.scheduler == "direct")
+    dfq = next(r for r in rows if r.scheduler == "dfq")
+    assert max(direct.slowdowns.values()) > 6.0  # someone crushed
+    assert max(dfq.slowdowns.values()) < 7.0
+    assert dfq.efficiency > 0.6
+
+
+def test_figure9_dfq_lets_app_benefit_from_idleness():
+    cells = figure9.run(
+        duration_us=250_000.0,
+        warmup_us=50_000.0,
+        ratios=(0.8,),
+        schedulers=("timeslice", "dfq"),
+    )
+    timeslice = next(c for c in cells if c.scheduler == "timeslice")
+    dfq = next(c for c in cells if c.scheduler == "dfq")
+    # DFQ is (near-)work-conserving: DCT absorbs the sleeper's idle time.
+    assert dfq.app_slowdown < timeslice.app_slowdown
+    assert dfq.throttle_slowdown < 2.5
+    assert dfq.efficiency > timeslice.efficiency
+
+
+def test_protection_infinite_loop():
+    outcomes = protection.run_infinite_loop(
+        duration_us=150_000.0, schedulers=("direct", "dfq")
+    )
+    direct = next(o for o in outcomes if o.scheduler == "direct")
+    dfq = next(o for o in outcomes if o.scheduler == "dfq")
+    assert not direct.attacker_killed and direct.victim_starved
+    assert dfq.attacker_killed and not dfq.victim_starved
+
+
+def test_protection_greedy_batcher():
+    outcomes = protection.run_greedy_batcher(
+        duration_us=150_000.0, warmup_us=30_000.0, schedulers=("direct", "dfq")
+    )
+    direct = next(o for o in outcomes if o.scheduler == "direct")
+    dfq = next(o for o in outcomes if o.scheduler == "dfq")
+    assert direct.batcher_share > 0.8
+    assert dfq.batcher_share < 0.7
+
+
+def test_section6_dos_and_quota():
+    outcomes = section6_dos.run(duration_us=40_000.0)
+    unprotected = next(o for o in outcomes if not o.quota_enabled)
+    protected = next(o for o in outcomes if o.quota_enabled)
+    assert unprotected.hog_contexts == 48  # the paper's measured number
+    assert unprotected.victim_locked_out
+    assert not protected.victim_locked_out
+    assert protected.hog_channels <= 4

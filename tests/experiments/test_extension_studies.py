@@ -1,0 +1,53 @@
+"""Smoke tests for the extension studies (sensitivity, CPU, breakdown,
+preemption)."""
+
+from repro.experiments import (
+    cpu_contention,
+    overhead_breakdown,
+    preemption,
+    sensitivity,
+)
+
+QUICK = dict(duration_us=150_000.0, warmup_us=30_000.0)
+
+
+def test_sensitivity_all_settings_remain_fair():
+    # The 100 ms timeslice point needs several slices of steady state.
+    rows = sensitivity.run(duration_us=500_000.0, warmup_us=120_000.0)
+    assert len(rows) == 9
+    for row in rows:
+        assert row.fair, f"{row.knob}={row.value} broke fairness"
+        assert row.standalone_overhead < 0.12
+    # Longer timeslices amortize re-engagement cost.
+    ts_rows = sorted(
+        (r for r in rows if r.knob == "timeslice_us"), key=lambda r: r.value
+    )
+    assert ts_rows[-1].standalone_overhead <= ts_rows[0].standalone_overhead + 0.01
+
+
+def test_cpu_contention_polling_negligible():
+    rows = cpu_contention.run(schedulers=("direct", "dfq"), **QUICK)
+    by_name = {row.scheduler: row for row in rows}
+    assert by_name["direct"].polling_cpu_us == 0.0
+    assert by_name["dfq"].polling_cpu_us < 0.01 * QUICK["duration_us"]
+    assert abs(by_name["dfq"].single_core_penalty) < 0.08
+
+
+def test_breakdown_freerun_dominates():
+    rows = overhead_breakdown.run(sizes=(19.0, 303.0), **QUICK)
+    for row in rows:
+        assert row.freerun_fraction > 0.6
+        assert row.drain_wait_fraction < 0.15
+        assert row.slowdown < 1.15
+
+
+def test_preemption_long_requests():
+    rows = preemption.run_long_requests(
+        duration_us=250_000.0, warmup_us=50_000.0
+    )
+    with_preemption = [row for row in rows if row.preemption]
+    without = [row for row in rows if not row.preemption]
+    assert all(row.small_task_slowdown < 3.0 for row in with_preemption)
+    assert all(row.long_task_slowdown < 3.5 for row in rows)
+    # Preemption must actually be exercised for 1.5-slice requests.
+    assert with_preemption and without

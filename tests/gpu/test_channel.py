@@ -1,0 +1,83 @@
+"""Tests for channels: ring buffer, reference counters, teardown."""
+
+import pytest
+
+from repro.gpu.request import Request, RequestKind
+
+
+def test_enqueue_assigns_monotonic_refs(make_channel, sim):
+    _, _, channel = make_channel()
+    refs = []
+    for _ in range(3):
+        request = Request(RequestKind.COMPUTE, 5.0)
+        channel.enqueue(request, sim.now)
+        refs.append(request.ref)
+    assert refs == [1, 2, 3]
+    assert channel.last_submitted_ref == 3
+    assert channel.submitted_count == 3
+
+
+def test_wrong_kind_rejected(make_channel, sim):
+    _, _, channel = make_channel(kind=RequestKind.COMPUTE)
+    request = Request(RequestKind.GRAPHICS, 5.0)
+    with pytest.raises(ValueError):
+        channel.enqueue(request, sim.now)
+
+
+def test_dead_channel_rejects_enqueue(make_channel, sim):
+    _, _, channel = make_channel()
+    channel.dead = True
+    with pytest.raises(RuntimeError):
+        channel.enqueue(Request(RequestKind.COMPUTE, 5.0), sim.now)
+
+
+def test_complete_bumps_refcounter(make_channel, sim):
+    _, _, channel = make_channel()
+    request = Request(RequestKind.COMPUTE, 5.0)
+    channel.enqueue(request, sim.now)
+    channel.queue.popleft()
+    channel.complete(request)
+    assert channel.refcounter == 1
+    assert channel.completed_count == 1
+
+
+def test_drained_tracks_refcounter_vs_last_submitted(make_channel, sim):
+    _, _, channel = make_channel()
+    assert channel.drained
+    request = Request(RequestKind.COMPUTE, 5.0)
+    channel.enqueue(request, sim.now)
+    assert not channel.drained
+    channel.queue.popleft()
+    channel.complete(request)
+    assert channel.drained
+
+
+def test_pending_counts_queue_and_running(make_channel, sim):
+    _, _, channel = make_channel()
+    first = Request(RequestKind.COMPUTE, 5.0)
+    second = Request(RequestKind.COMPUTE, 5.0)
+    channel.enqueue(first, sim.now)
+    channel.enqueue(second, sim.now)
+    assert channel.pending == 2
+    channel.running = channel.queue.popleft()
+    assert channel.pending == 2
+    channel.running = None
+    assert channel.pending == 1
+
+
+def test_discard_queued_marks_aborted_and_drains(make_channel, sim):
+    _, _, channel = make_channel()
+    requests = [Request(RequestKind.COMPUTE, 5.0) for _ in range(3)]
+    for request in requests:
+        channel.enqueue(request, sim.now)
+    casualties = channel.discard_queued()
+    assert casualties == requests
+    assert all(request.aborted for request in casualties)
+    assert channel.drained
+    assert channel.pending == 0
+
+
+def test_task_property_reaches_owner(make_channel):
+    task, _, channel = make_channel("owner")
+    assert channel.task is task
+    assert channel.task.name == "owner"

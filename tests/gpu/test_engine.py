@@ -1,0 +1,149 @@
+"""Tests for the execution engine: service order, costs, aborts."""
+
+import math
+
+from repro.gpu.request import Request, RequestKind
+
+from tests.gpu.conftest import submit
+
+
+def test_single_channel_fifo(sim, device, make_channel):
+    _, _, channel = make_channel()
+    first = submit(device, channel, 10.0)
+    second = submit(device, channel, 5.0)
+    sim.run()
+    assert first.finish_time == 10.0
+    assert second.finish_time == 15.0
+    assert channel.refcounter == 2
+
+
+def test_round_robin_between_channels(sim, device, make_channel):
+    _, _, channel_a = make_channel("a")
+    _, _, channel_b = make_channel("b")
+    a_requests = [submit(device, channel_a, 10.0) for _ in range(2)]
+    b_requests = [submit(device, channel_b, 10.0) for _ in range(2)]
+    sim.run()
+    # Service alternates a, b, a, b (with context-switch costs between).
+    assert a_requests[0].start_time < b_requests[0].start_time
+    assert b_requests[0].start_time < a_requests[1].start_time
+    assert a_requests[1].start_time < b_requests[1].start_time
+
+
+def test_context_switch_cost_charged_between_contexts(sim, device, make_channel):
+    _, _, channel_a = make_channel("a")
+    _, _, channel_b = make_channel("b")
+    submit(device, channel_a, 10.0)
+    submit(device, channel_b, 10.0)
+    sim.run()
+    assert device.main_engine.switch_us == device.params.context_switch_us
+    assert device.main_engine.busy_us == 20.0 + device.params.context_switch_us
+
+
+def test_no_switch_cost_on_same_channel(sim, device, make_channel):
+    _, _, channel = make_channel()
+    submit(device, channel, 10.0)
+    submit(device, channel, 10.0)
+    sim.run()
+    assert device.main_engine.switch_us == 0.0
+
+
+def test_channel_switch_cheaper_than_context_switch(sim, device, make_channel):
+    task, context, channel_a = make_channel()
+    channel_b = device.create_channel(context, RequestKind.COMPUTE)
+    submit(device, channel_a, 10.0)
+    submit(device, channel_b, 10.0)
+    sim.run()
+    assert device.main_engine.switch_us == device.params.channel_switch_us
+
+
+def test_dma_overlaps_compute_on_copy_engine(sim, device, make_channel):
+    task, context, compute_channel = make_channel()
+    dma_channel = device.create_channel(context, RequestKind.DMA)
+    compute = submit(device, compute_channel, 100.0)
+    dma = submit(device, dma_channel, 100.0)
+    sim.run()
+    # Both finish at ~100: they ran concurrently on separate engines.
+    assert compute.finish_time == 100.0
+    assert dma.finish_time == 100.0
+
+
+def test_infinite_request_blocks_engine_until_abort(sim, device, make_channel):
+    task, context, channel = make_channel()
+    runaway = submit(device, channel, math.inf)
+    blocked = submit(device, channel, 10.0)
+    sim.schedule(500.0, device.kill_context, context)
+    sim.run()
+    assert runaway.aborted
+    assert blocked.aborted
+    assert device.main_engine.idle
+
+
+def test_abort_charges_partial_service(sim, device, make_channel):
+    task, context, channel = make_channel()
+    submit(device, channel, math.inf)
+    sim.schedule(250.0, device.kill_context, context)
+    sim.run()
+    assert device.task_usage(task) == 250.0
+
+
+def test_inject_stall_consumes_engine_time(sim, device, make_channel):
+    _, _, channel = make_channel()
+    device.main_engine.inject_stall(50.0)
+    request = submit(device, channel, 10.0)
+    sim.run()
+    assert request.finish_time == 60.0
+    assert device.main_engine.busy_us == 60.0
+
+
+def test_idle_property(sim, device, make_channel):
+    _, _, channel = make_channel()
+    assert device.main_engine.idle
+    submit(device, channel, 10.0)
+    sim.run(until=5.0)
+    assert not device.main_engine.idle
+    sim.run()
+    assert device.main_engine.idle
+
+
+def test_graphics_penalized_when_compute_competes(sim, device, make_channel):
+    """With competition, a graphics channel completes requests at a
+    fraction of the compute channel's rate (the paper's glxgears
+    observation)."""
+    _, _, compute = make_channel("compute", RequestKind.COMPUTE)
+    _, _, graphics = make_channel("gfx", RequestKind.GRAPHICS)
+
+    def feeder(channel, size):
+        while True:
+            request = Request(channel.kind, size)
+            device.submit(channel, request)
+            yield request.completion
+
+    sim.spawn(feeder(compute, 19.0))
+    sim.spawn(feeder(graphics, 19.0))
+    sim.run(until=50_000.0)
+    ratio = compute.completed_count / graphics.completed_count
+    assert ratio > 2.0, f"expected graphics held back, got ratio {ratio:.2f}"
+
+
+def test_graphics_unpenalized_without_competition(sim, device, make_channel):
+    _, _, graphics = make_channel("gfx", RequestKind.GRAPHICS)
+
+    def feeder(channel, size, count):
+        for _ in range(count):
+            request = Request(channel.kind, size)
+            device.submit(channel, request)
+            yield request.completion
+
+    sim.spawn(feeder(graphics, 10.0, 100))
+    sim.run()
+    # 100 back-to-back requests with no penalty gaps: pure service time.
+    assert sim.now < 1_100.0
+
+
+def test_completion_event_triggers(sim, device, make_channel):
+    _, _, channel = make_channel()
+    request = submit(device, channel, 10.0)
+    fired = []
+    request.completion.add_callback(lambda ev: fired.append(sim.now))
+    sim.run()
+    assert fired == [10.0]

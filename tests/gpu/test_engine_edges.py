@@ -1,0 +1,100 @@
+"""Edge-case tests for the execution engine."""
+
+import math
+
+from repro.gpu.request import Request, RequestKind
+
+from tests.gpu.conftest import submit
+
+
+def test_kill_while_switching_contexts(sim, device, make_channel):
+    """A context that dies during the switch toward it must not be served."""
+    _, context_a, channel_a = make_channel("a")
+    _, context_b, channel_b = make_channel("b")
+    submit(device, channel_a, 10.0)
+    victim = submit(device, channel_b, 10.0)
+    # Kill b exactly while the engine is paying the a->b switch cost.
+    sim.schedule(11.0, device.kill_context, context_b)
+    sim.run()
+    assert victim.aborted
+    assert device.main_engine.idle
+
+
+def test_notify_while_busy_is_harmless(sim, device, make_channel):
+    _, _, channel = make_channel()
+    submit(device, channel, 100.0)
+    for delay in (10.0, 20.0, 30.0):
+        sim.schedule(delay, device.main_engine.notify)
+    sim.run()
+    assert channel.refcounter == 1
+
+
+def test_graphics_penalty_expires_without_competition(sim, device, make_channel):
+    """Once compute goes quiet for the competition window, graphics runs
+    at full rate again."""
+    _, _, compute = make_channel("c", RequestKind.COMPUTE)
+    _, _, graphics = make_channel("g", RequestKind.GRAPHICS)
+    submit(device, compute, 10.0)  # one compute request, then silence
+
+    def feeder():
+        for _ in range(50):
+            request = Request(RequestKind.GRAPHICS, 10.0)
+            device.submit(graphics, request)
+            yield request.completion
+
+    sim.spawn(feeder())
+    sim.run()
+    window = device.params.graphics_competition_window_us
+    # After the window, the remaining ~40 requests run back-to-back: the
+    # total time is far below 50 full penalty gaps.
+    assert sim.now < window + 45 * 12.0 + 10 * device.params.graphics_penalty_gap_us
+
+
+def test_copy_engine_unaffected_by_main_engine_kill(sim, device, make_channel):
+    task_a, context_a, compute = make_channel("a")
+    task_b, context_b, _ = make_channel("b")
+    dma = device.create_channel(context_b, RequestKind.DMA)
+    submit(device, compute, math.inf)
+    transfer = submit(device, dma, 500.0)
+    sim.schedule(100.0, device.kill_context, context_a)
+    sim.run()
+    assert transfer.finish_time == 500.0
+    assert not transfer.aborted
+
+
+def test_cursor_survives_channel_removal(sim, device, make_channel):
+    channels = [make_channel(f"t{i}")[2] for i in range(4)]
+    for channel in channels:
+        submit(device, channel, 10.0)
+    sim.run()
+    # Remove two channels, then keep scheduling on the rest.
+    device.kill_context(channels[1].context)
+    device.kill_context(channels[3].context)
+    late_a = submit(device, channels[0], 10.0)
+    late_b = submit(device, channels[2], 10.0)
+    sim.run()
+    assert late_a.finish_time is not None
+    assert late_b.finish_time is not None
+
+
+def test_zero_size_request_completes_instantly(sim, device, make_channel):
+    _, _, channel = make_channel()
+    request = submit(device, channel, 0.0)
+    sim.run()
+    assert request.finish_time == request.start_time
+    assert channel.refcounter == 1
+
+
+def test_busy_accounting_conserves_time(sim, device, make_channel):
+    """Engine busy time equals service + switching, never exceeding the
+    wall clock."""
+    _, _, channel_a = make_channel("a")
+    _, _, channel_b = make_channel("b")
+    for _ in range(5):
+        submit(device, channel_a, 20.0)
+        submit(device, channel_b, 30.0)
+    sim.run()
+    engine = device.main_engine
+    service = 5 * 20.0 + 5 * 30.0
+    assert engine.busy_us == service + engine.switch_us
+    assert engine.busy_us <= sim.now + 1e-9

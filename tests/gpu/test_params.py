@@ -1,0 +1,35 @@
+"""Tests for device parameter validation."""
+
+import pytest
+
+from repro.gpu.params import GpuParams
+
+
+def test_defaults_validate():
+    GpuParams().validate()
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("context_switch_us", -1.0),
+        ("channel_switch_us", -0.1),
+        ("graphics_penalty_gap_us", -1.0),
+        ("graphics_competition_window_us", -1.0),
+        ("total_channels", 0),
+        ("max_contexts", 0),
+        ("context_cleanup_us", -5.0),
+    ],
+)
+def test_invalid_values_rejected(field, value):
+    params = GpuParams()
+    setattr(params, field, value)
+    with pytest.raises(ValueError):
+        params.validate()
+
+
+def test_paper_platform_limits():
+    """GTX670: 48 contexts, two channels each (Section 6.3)."""
+    params = GpuParams()
+    assert params.max_contexts == 48
+    assert params.total_channels == 96

@@ -1,0 +1,48 @@
+"""Four-way concurrency (Figure 8's shape) as an integration test."""
+
+import pytest
+
+from repro.experiments.runner import build_env, run_workloads, solo_baseline
+from repro.workloads.apps import make_app
+from repro.workloads.throttle import Throttle
+
+DURATION = 400_000.0
+WARMUP = 80_000.0
+
+
+@pytest.mark.parametrize("scheduler", ["disengaged-timeslice", "dfq"])
+def test_four_way_slowdowns_near_4x(scheduler):
+    names = ("BinarySearch", "DCT", "FFT")
+    factories = {name: (lambda name=name: make_app(name)) for name in names}
+    factories["thr"] = lambda: Throttle(1000.0, name="thr")
+    baselines = {
+        name: solo_baseline(factory, DURATION, WARMUP)
+        for name, factory in factories.items()
+    }
+    env = build_env(scheduler)
+    workloads = [factory() for factory in factories.values()]
+    run_workloads(env, workloads, DURATION, WARMUP)
+    for workload in workloads:
+        slowdown = (
+            workload.round_stats(WARMUP).mean_us
+            / baselines[workload.name].rounds.mean_us
+        )
+        assert 1.0 < slowdown < 7.5, (
+            f"{scheduler}/{workload.name}: slowdown {slowdown:.2f}"
+        )
+
+
+def test_direct_access_unfair_at_four_way():
+    factories = [
+        lambda: make_app("DCT"),
+        lambda: make_app("FFT"),
+        lambda: make_app("BinarySearch"),
+        lambda: Throttle(1000.0, name="thr"),
+    ]
+    base_dct = solo_baseline(factories[0], DURATION, WARMUP)
+    env = build_env("direct")
+    workloads = [factory() for factory in factories]
+    run_workloads(env, workloads, DURATION, WARMUP)
+    dct = next(w for w in workloads if w.name == "DCT")
+    slowdown = dct.round_stats(WARMUP).mean_us / base_dct.rounds.mean_us
+    assert slowdown > 6.0  # crushed by the large-request co-runner

@@ -1,0 +1,62 @@
+"""Tests for CDF utilities."""
+
+import math
+
+import pytest
+
+from repro.metrics.cdf import Cdf, log2_bin_histogram
+
+
+def test_fraction_below():
+    cdf = Cdf([1.0, 5.0, 10.0, 20.0])
+    assert cdf.fraction_below(10.0) == 0.5
+    assert cdf.fraction_below(100.0) == 1.0
+    assert cdf.fraction_below(0.5) == 0.0
+
+
+def test_quantiles():
+    cdf = Cdf(range(100))
+    assert cdf.quantile(0.0) == 0.0
+    assert cdf.quantile(0.5) == 50.0
+    assert cdf.quantile(1.0) == 99.0
+
+
+def test_quantile_bounds():
+    with pytest.raises(ValueError):
+        Cdf([1.0]).quantile(1.5)
+
+
+def test_negative_samples_rejected():
+    with pytest.raises(ValueError):
+        Cdf([-1.0])
+
+
+def test_empty_cdf_is_nan():
+    cdf = Cdf([])
+    assert math.isnan(cdf.fraction_below(1.0))
+    assert math.isnan(cdf.quantile(0.5))
+
+
+def test_log2_bins_cumulative():
+    # 1us -> bin 0; 2us -> bin 1; 1000us -> bin 9.
+    bins = log2_bin_histogram([1.0, 2.0, 1000.0], max_bin=10)
+    assert bins[0] == pytest.approx(100.0 / 3)
+    assert bins[1] == pytest.approx(200.0 / 3)
+    assert bins[8] == pytest.approx(200.0 / 3)
+    assert bins[9] == pytest.approx(100.0)
+    assert bins[10] == pytest.approx(100.0)
+
+
+def test_log2_bins_clamp_submicrosecond_and_huge():
+    bins = log2_bin_histogram([0.1, 1e9], max_bin=5)
+    assert bins[0] == pytest.approx(50.0)
+    assert bins[5] == pytest.approx(100.0)
+
+
+def test_log2_bins_empty_is_nan():
+    assert all(math.isnan(value) for value in log2_bin_histogram([]))
+
+
+def test_log2_bins_monotonic():
+    bins = log2_bin_histogram([3.0, 9.0, 70.0, 500.0])
+    assert all(a <= b + 1e-9 for a, b in zip(bins, bins[1:]))

@@ -1,0 +1,26 @@
+"""Tests for the concurrency-efficiency metric."""
+
+import math
+
+import pytest
+
+from repro.metrics.efficiency import concurrency_efficiency
+
+
+def test_no_loss_sums_to_one():
+    # Two tasks each slowed exactly 2x: shares sum to 1.0.
+    assert concurrency_efficiency([(100.0, 200.0), (50.0, 100.0)]) == pytest.approx(1.0)
+
+
+def test_loss_below_one():
+    assert concurrency_efficiency([(100.0, 300.0), (100.0, 300.0)]) < 1.0
+
+
+def test_synergy_above_one():
+    # Overlapped DMA/compute can beat standalone serialization.
+    assert concurrency_efficiency([(100.0, 150.0), (100.0, 150.0)]) > 1.0
+
+
+def test_nan_propagates():
+    assert math.isnan(concurrency_efficiency([(float("nan"), 1.0)]))
+    assert math.isnan(concurrency_efficiency([(1.0, 0.0)]))

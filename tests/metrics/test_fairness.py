@@ -1,0 +1,39 @@
+"""Tests for fairness metrics."""
+
+import math
+
+import pytest
+
+from repro.metrics.fairness import jain_index, max_slowdown_ratio
+
+
+def test_jain_perfectly_fair():
+    assert jain_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+
+def test_jain_maximally_unfair():
+    assert jain_index([1.0, 0.0, 0.0]) == pytest.approx(1.0 / 3.0)
+
+
+def test_jain_scale_invariant():
+    assert jain_index([2.0, 4.0]) == pytest.approx(jain_index([1.0, 2.0]))
+
+
+def test_jain_empty_is_nan():
+    assert math.isnan(jain_index([]))
+
+
+def test_max_slowdown_ratio_even():
+    assert max_slowdown_ratio([2.0, 2.0]) == 1.0
+
+
+def test_max_slowdown_ratio_uneven():
+    assert max_slowdown_ratio([2.0, 6.0]) == 3.0
+
+
+def test_max_slowdown_ratio_ignores_nan():
+    assert max_slowdown_ratio([2.0, float("nan"), 4.0]) == 2.0
+
+
+def test_max_slowdown_ratio_empty_is_nan():
+    assert math.isnan(max_slowdown_ratio([]))

@@ -1,0 +1,59 @@
+"""Tests for round statistics."""
+
+import math
+
+import pytest
+
+from repro.metrics.rounds import RoundLog, RoundStats
+
+
+def test_record_and_stats():
+    log = RoundLog()
+    for start, end in [(0, 10), (10, 30), (30, 40)]:
+        log.record(float(start), float(end))
+    stats = log.stats()
+    assert stats.count == 3
+    assert stats.mean_us == pytest.approx(40.0 / 3)
+    assert stats.median_us == 10.0
+
+
+def test_invalid_round_rejected():
+    log = RoundLog()
+    with pytest.raises(ValueError):
+        log.record(10.0, 5.0)
+
+
+def test_warmup_window_filters_by_completion():
+    log = RoundLog()
+    log.record(0.0, 50.0)
+    log.record(50.0, 150.0)
+    stats = log.stats(warmup_us=100.0)
+    assert stats.count == 1
+    assert stats.mean_us == 100.0
+
+
+def test_until_filters_late_rounds():
+    log = RoundLog()
+    log.record(0.0, 50.0)
+    log.record(50.0, 150.0)
+    stats = log.stats(until_us=100.0)
+    assert stats.count == 1
+
+
+def test_empty_stats_are_nan():
+    stats = RoundLog().stats()
+    assert stats.count == 0
+    assert math.isnan(stats.mean_us)
+
+
+def test_slowdown_vs_baseline():
+    fast = RoundStats.from_durations([10.0, 10.0])
+    slow = RoundStats.from_durations([30.0, 30.0])
+    assert slow.slowdown_vs(fast) == 3.0
+    assert math.isnan(slow.slowdown_vs(RoundStats.from_durations([])))
+
+
+def test_p95():
+    durations = [float(i) for i in range(1, 101)]
+    stats = RoundStats.from_durations(durations)
+    assert stats.p95_us == 96.0

@@ -1,0 +1,24 @@
+"""Tests for table formatting."""
+
+from repro.metrics.tables import format_table
+
+
+def test_alignment_and_title():
+    text = format_table(["a", "bb"], [[1, 2.5], ["xyz", float("nan")]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "xyz" in lines[4]
+    assert "-" in lines[4]  # NaN rendered as dash
+
+
+def test_float_formatting():
+    text = format_table(["v"], [[3.14159], [123.456]])
+    assert "3.14" in text
+    assert "123" in text and "123.46" not in text
+
+
+def test_no_title():
+    text = format_table(["x"], [[1]])
+    assert text.splitlines()[0].strip() == "x"

@@ -1,0 +1,61 @@
+"""Tests for the channel-discovery state machine."""
+
+import pytest
+
+from repro.neon.discovery import ChannelDiscovery, DiscoveryState, Vma, VmaKind
+
+
+def test_initial_state():
+    discovery = ChannelDiscovery(1)
+    assert discovery.state is DiscoveryState.INIT
+    assert not discovery.active
+
+
+def test_full_setup_reaches_active():
+    discovery = ChannelDiscovery(1)
+    discovery.run_full_setup()
+    assert discovery.state is DiscoveryState.ACTIVE
+    assert discovery.active
+    assert set(discovery.vmas) == set(VmaKind)
+
+
+def test_partial_setup_is_not_active():
+    discovery = ChannelDiscovery(1)
+    discovery.observe_mmap(Vma.fresh(VmaKind.COMMAND_BUFFER, 1))
+    assert discovery.state is DiscoveryState.PARTIAL
+    discovery.observe_mmap(Vma.fresh(VmaKind.RING_BUFFER, 1))
+    assert discovery.state is DiscoveryState.PARTIAL
+    discovery.observe_mmap(Vma.fresh(VmaKind.CHANNEL_REGISTER, 1))
+    assert discovery.state is DiscoveryState.ACTIVE
+
+
+def test_duplicate_mapping_replaces():
+    discovery = ChannelDiscovery(1)
+    first = Vma.fresh(VmaKind.COMMAND_BUFFER, 1)
+    second = Vma.fresh(VmaKind.COMMAND_BUFFER, 1)
+    discovery.observe_mmap(first)
+    discovery.observe_mmap(second)
+    assert discovery.vmas[VmaKind.COMMAND_BUFFER] is second
+    assert discovery.state is DiscoveryState.PARTIAL
+
+
+def test_wrong_channel_rejected():
+    discovery = ChannelDiscovery(1)
+    with pytest.raises(ValueError):
+        discovery.observe_mmap(Vma.fresh(VmaKind.RING_BUFFER, 2))
+
+
+def test_munmap_invalidates():
+    discovery = ChannelDiscovery(1)
+    discovery.run_full_setup()
+    discovery.observe_munmap(VmaKind.CHANNEL_REGISTER)
+    assert discovery.state is DiscoveryState.PARTIAL
+    discovery.observe_munmap(VmaKind.COMMAND_BUFFER)
+    discovery.observe_munmap(VmaKind.RING_BUFFER)
+    assert discovery.state is DiscoveryState.INIT
+
+
+def test_vma_addresses_are_unique():
+    a = Vma.fresh(VmaKind.RING_BUFFER, 1)
+    b = Vma.fresh(VmaKind.RING_BUFFER, 1)
+    assert a.address != b.address

@@ -1,0 +1,158 @@
+"""Tests for the interception manager: engagement, scans, drains."""
+
+import math
+
+import pytest
+
+from repro.gpu.device import GpuDevice
+from repro.gpu.request import Request, RequestKind
+from repro.neon.interception import InterceptionManager
+from repro.osmodel.costs import CostParams
+from repro.osmodel.kernel import Kernel
+
+
+@pytest.fixture
+def wired(sim):
+    device = GpuDevice(sim)
+    kernel = Kernel(sim, device, CostParams())
+    neon = InterceptionManager(kernel)
+    return device, kernel, neon
+
+
+def _channel(kernel, neon, name="app", kind=RequestKind.COMPUTE):
+    task = kernel.create_task(name)
+    context = kernel.open_context(task)
+    channel = kernel.device.create_channel(context, kind)
+    neon.track(channel)
+    return task, channel
+
+
+def _submit(device, channel, size):
+    request = Request(channel.kind, size)
+    device.submit(channel, request)
+    return request
+
+
+def _run_gen(sim, generator, until=100_000.0):
+    box = {}
+
+    def body():
+        box["result"] = yield from generator
+        box["time"] = sim.now
+
+    sim.spawn(body())
+    sim.run(until=until)
+    return box
+
+
+def test_engage_disengage_flip_counting(wired):
+    device, kernel, neon = wired
+    task, channel = _channel(kernel, neon)
+    assert neon.engage_channel(channel) == 1
+    assert neon.engage_channel(channel) == 0  # already protected
+    assert neon.disengage_channel(channel) == 1
+    assert neon.disengage_channel(channel) == 0
+
+
+def test_engage_all_counts_only_transitions(wired):
+    device, kernel, neon = wired
+    _, channel_a = _channel(kernel, neon, "a")
+    _, channel_b = _channel(kernel, neon, "b")
+    neon.engage_channel(channel_a)
+    assert neon.engage_all() == 1  # only b flips
+    assert neon.flip_cost(2) == 2 * kernel.costs.page_flip_us
+
+
+def test_engage_task_touches_only_its_channels(wired):
+    device, kernel, neon = wired
+    task_a, channel_a = _channel(kernel, neon, "a")
+    task_b, channel_b = _channel(kernel, neon, "b")
+    assert neon.engage_task(task_a) == 1
+    assert channel_a.register_page.protected
+    assert not channel_b.register_page.protected
+
+
+def test_channels_of_filters_dead(wired):
+    device, kernel, neon = wired
+    task, channel = _channel(kernel, neon)
+    assert neon.channels_of(task) == [channel]
+    channel.dead = True
+    assert neon.channels_of(task) == []
+
+
+def test_scan_returns_last_submitted_ref(sim, wired):
+    device, kernel, neon = wired
+    task, channel = _channel(kernel, neon)
+    _submit(device, channel, 10.0)
+    _submit(device, channel, 10.0)
+    box = _run_gen(sim, neon.scan_channel(channel))
+    assert box["result"] == 2
+    assert box["time"] == pytest.approx(kernel.costs.reengage_scan_us)
+    assert neon.observation(channel).last_scanned_ref == 2
+
+
+def test_drain_immediate_when_idle(sim, wired):
+    device, kernel, neon = wired
+    task, channel = _channel(kernel, neon)
+    box = _run_gen(sim, neon.drain([channel]))
+    assert box["result"].drained
+    assert box["result"].offenders == []
+
+
+def test_drain_waits_at_polling_granularity(sim, wired):
+    device, kernel, neon = wired
+    task, channel = _channel(kernel, neon)
+    _submit(device, channel, 500.0)
+    box = _run_gen(sim, neon.drain([channel]))
+    result = box["result"]
+    assert result.drained
+    # Finished at ~500 but observed at the next polling pass.
+    assert 500.0 <= box["time"] <= 500.0 + kernel.costs.poll_interval_us + 10.0
+
+
+def test_drain_timeout_reports_offenders(sim, wired):
+    device, kernel, neon = wired
+    task, channel = _channel(kernel, neon)
+    _submit(device, channel, math.inf)
+    box = _run_gen(sim, neon.drain([channel], timeout_us=2_000.0))
+    result = box["result"]
+    assert not result.drained
+    assert result.offenders == [channel]
+    assert result.timed_out
+
+
+def test_drain_all_tracked_channels_by_default(sim, wired):
+    device, kernel, neon = wired
+    _, channel_a = _channel(kernel, neon, "a")
+    _, channel_b = _channel(kernel, neon, "b")
+    _submit(device, channel_a, 100.0)
+    _submit(device, channel_b, 200.0)
+    box = _run_gen(sim, neon.drain())
+    assert box["result"].drained
+
+
+def test_identify_running_task(sim, wired):
+    device, kernel, neon = wired
+    task, channel = _channel(kernel, neon)
+    _submit(device, channel, 1_000.0)
+    sim.run(until=100.0)
+    assert neon.identify_running_task() is task
+    sim.run(until=5_000.0)
+    assert neon.identify_running_task() is None
+
+
+def test_record_and_estimate_sizes(wired):
+    device, kernel, neon = wired
+    task, channel = _channel(kernel, neon)
+    assert neon.estimated_request_size(channel) is None
+    neon.record_sampled_service(channel, 10.0)
+    neon.record_sampled_service(channel, 30.0)
+    assert neon.estimated_request_size(channel) == 20.0
+
+
+def test_untrack_forgets_channel(wired):
+    device, kernel, neon = wired
+    task, channel = _channel(kernel, neon)
+    neon.untrack(channel)
+    assert neon.live_channels() == []
+    assert neon.estimated_request_size(channel) is None

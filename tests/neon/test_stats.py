@@ -1,0 +1,75 @@
+"""Tests for observed statistics."""
+
+import pytest
+
+from repro.neon.stats import (
+    ChannelObservations,
+    ObservedServiceMeter,
+    RequestSizeEstimator,
+)
+
+
+def test_estimator_mean_none_before_samples():
+    assert RequestSizeEstimator().mean is None
+
+
+def test_estimator_mean():
+    estimator = RequestSizeEstimator()
+    for value in (10.0, 20.0, 30.0):
+        estimator.record(value)
+    assert estimator.mean == 20.0
+    assert estimator.sample_count == 3
+    assert estimator.total_observed == 3
+
+
+def test_estimator_window_evicts_oldest():
+    estimator = RequestSizeEstimator(window=2)
+    estimator.record(100.0)
+    estimator.record(10.0)
+    estimator.record(10.0)
+    assert estimator.mean == 10.0
+    assert estimator.total_observed == 3
+
+
+def test_estimator_rejects_negative():
+    with pytest.raises(ValueError):
+        RequestSizeEstimator().record(-1.0)
+
+
+def test_estimator_rejects_bad_window():
+    with pytest.raises(ValueError):
+        RequestSizeEstimator(window=0)
+
+
+def test_meter_uses_submit_time_when_channel_was_idle():
+    meter = ObservedServiceMeter()
+    assert meter.measure(1, submit_time=10.0, observe_time=35.0) == 25.0
+
+
+def test_meter_uses_previous_observation_when_queued():
+    meter = ObservedServiceMeter()
+    meter.measure(1, submit_time=0.0, observe_time=30.0)
+    # Second request was submitted at 5 but could only start at 30.
+    assert meter.measure(1, submit_time=5.0, observe_time=50.0) == 20.0
+
+
+def test_meter_bounds_service_by_any_prior_observation():
+    """The main engine serializes requests: a completion observed on one
+    channel bounds when the next request (any channel) can have started."""
+    meter = ObservedServiceMeter()
+    meter.measure(1, 0.0, 100.0)
+    # Submitted at 0 but could only start after the 100-observation.
+    assert meter.measure(2, 0.0, 130.0) == 30.0
+
+
+def test_meter_clamps_tiny_services():
+    meter = ObservedServiceMeter()
+    assert meter.measure(1, 10.0, 10.0) == pytest.approx(0.05)
+
+
+def test_channel_observations_engagement_marks():
+    observations = ChannelObservations(7)
+    assert observations.completed_since_last_engagement(5) == 5
+    observations.mark_engagement(5)
+    assert observations.completed_since_last_engagement(5) == 0
+    assert observations.completed_since_last_engagement(9) == 4

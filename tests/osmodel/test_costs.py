@@ -1,0 +1,58 @@
+"""Tests for cost parameters."""
+
+import pytest
+
+from repro.osmodel.costs import CPU_GHZ, CostParams
+
+
+def test_defaults_validate():
+    CostParams().validate()
+
+
+def test_direct_submit_matches_paper_cycles():
+    """305 cycles at 2.27 GHz (paper, Section 3)."""
+    costs = CostParams()
+    assert costs.direct_submit_us == pytest.approx(305 / (CPU_GHZ * 1000))
+    assert costs.direct_submit_us < 0.2
+
+
+def test_intercept_cost_is_sum_of_parts():
+    costs = CostParams()
+    expected = costs.trap_us + costs.fault_handle_us + costs.singlestep_us
+    assert costs.intercept_us == expected
+
+
+def test_interception_orders_of_magnitude():
+    """Interception is tens of times pricier than a direct store, but far
+    below typical request sizes at the large end."""
+    costs = CostParams()
+    assert costs.intercept_us > 10 * costs.direct_submit_us
+    assert costs.intercept_us < 100.0
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("trap_us", -1.0),
+        ("poll_interval_us", 0.0),
+        ("timeslice_us", 0.0),
+        ("sample_max_requests", 0),
+        ("freerun_multiplier", 0.0),
+        ("max_request_us", -1.0),
+    ],
+)
+def test_invalid_values_rejected(field, value):
+    costs = CostParams()
+    setattr(costs, field, value)
+    with pytest.raises(ValueError):
+        costs.validate()
+
+
+def test_paper_configuration_defaults():
+    """Section 5.2's chosen parameters."""
+    costs = CostParams()
+    assert costs.timeslice_us == 30_000.0
+    assert costs.poll_interval_us == 1_000.0
+    assert costs.sample_max_us == 5_000.0
+    assert costs.sample_max_requests == 32
+    assert costs.freerun_multiplier == 5.0

@@ -1,0 +1,123 @@
+"""Tests for the finite host-CPU pool."""
+
+import pytest
+
+from repro.osmodel.cpu import CpuPool
+from repro.sim.process import ProcessKilled
+
+
+def test_invalid_core_count():
+    import repro.sim.engine as engine
+
+    with pytest.raises(ValueError):
+        CpuPool(engine.Simulator(), 0)
+
+
+def test_uncontended_execution_takes_exact_time(sim):
+    pool = CpuPool(sim, 2)
+    done = []
+
+    def worker():
+        yield from pool.execute(50.0, "w")
+        done.append(sim.now)
+
+    sim.spawn(worker())
+    sim.run()
+    assert done == [50.0]
+    assert pool.owner_usage("w") == 50.0
+
+
+def test_contention_serializes_on_one_core(sim):
+    pool = CpuPool(sim, 1)
+    finish = {}
+
+    def worker(name):
+        yield from pool.execute(100.0, name)
+        finish[name] = sim.now
+
+    sim.spawn(worker("a"))
+    sim.spawn(worker("b"))
+    sim.run()
+    assert sorted(finish.values()) == [100.0, 200.0]
+    assert pool.contention_wait_us == pytest.approx(100.0)
+
+
+def test_two_cores_run_two_workers_in_parallel(sim):
+    pool = CpuPool(sim, 2)
+    finish = []
+
+    def worker():
+        yield from pool.execute(100.0, "w")
+        finish.append(sim.now)
+
+    for _ in range(2):
+        sim.spawn(worker())
+    sim.run()
+    assert finish == [100.0, 100.0]
+
+
+def test_queue_drains_in_fifo_order(sim):
+    pool = CpuPool(sim, 1)
+    order = []
+
+    def worker(name):
+        yield from pool.execute(10.0, name)
+        order.append(name)
+
+    for name in ("a", "b", "c"):
+        sim.spawn(worker(name))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_killed_holder_releases_core(sim):
+    pool = CpuPool(sim, 1)
+    finished = []
+
+    def hog():
+        yield from pool.execute(10_000.0, "hog")
+
+    def patient():
+        yield from pool.execute(10.0, "patient")
+        finished.append(sim.now)
+
+    hog_proc = sim.spawn(hog())
+    sim.spawn(patient())
+    sim.schedule(100.0, hog_proc.kill)
+    sim.run()
+    assert finished and finished[0] < 200.0
+    # The hog was charged only what it executed before dying.
+    assert pool.owner_usage("hog") == pytest.approx(100.0)
+
+
+def test_zero_duration_is_fine(sim):
+    pool = CpuPool(sim, 1)
+
+    def worker():
+        yield from pool.execute(0.0, "w")
+        yield 1.0
+
+    sim.spawn(worker())
+    sim.run()
+    assert pool.idle_cores == 1
+
+
+def test_negative_duration_rejected(sim):
+    pool = CpuPool(sim, 1)
+
+    def worker():
+        yield from pool.execute(-1.0, "w")
+
+    sim.spawn(worker())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_paper_claim_polling_load_negligible():
+    """§5.2: polling is not a noticeable load even on a single CPU."""
+    from repro.experiments.cpu_contention import run
+
+    rows = run(duration_us=120_000.0, warmup_us=20_000.0, schedulers=("dfq",))
+    row = rows[0]
+    assert abs(row.single_core_penalty) < 0.06
+    assert row.polling_cpu_us < 0.01 * 120_000.0

@@ -1,0 +1,70 @@
+"""Tests for kernel-level memory allocation and the quota policy."""
+
+import pytest
+
+from repro.errors import OutOfResourcesError
+from repro.experiments.runner import build_env
+from repro.osmodel.kernel import MemoryQuotaPolicy
+
+
+def _task_with_context(env, name):
+    task = env.kernel.create_task(name)
+    context = env.kernel.open_context(task)
+    return task, context
+
+
+def test_allocation_and_usage_tracking():
+    env = build_env("direct")
+    task, context = _task_with_context(env, "app")
+    env.kernel.allocate_memory(task, context, 300.0)
+    assert env.kernel.task_memory_usage(task) == 300.0
+    env.kernel.free_memory(task, context, 100.0)
+    assert env.kernel.task_memory_usage(task) == 200.0
+
+
+def test_cross_task_context_rejected():
+    env = build_env("direct")
+    task_a, context_a = _task_with_context(env, "a")
+    task_b, _ = _task_with_context(env, "b")
+    with pytest.raises(ValueError):
+        env.kernel.allocate_memory(task_b, context_a, 10.0)
+
+
+def test_quota_caps_single_task():
+    env = build_env("direct", memory_quota=MemoryQuotaPolicy(max_fraction=0.25))
+    task, context = _task_with_context(env, "greedy")
+    limit = 0.25 * env.device.params.memory_mib
+    env.kernel.allocate_memory(task, context, limit)
+    with pytest.raises(OutOfResourcesError):
+        env.kernel.allocate_memory(task, context, 1.0)
+
+
+def test_quota_spans_contexts_of_one_task():
+    env = build_env("direct", memory_quota=MemoryQuotaPolicy(max_fraction=0.25))
+    task, context_a = _task_with_context(env, "greedy")
+    context_b = env.kernel.open_context(task)
+    half_limit = 0.125 * env.device.params.memory_mib
+    env.kernel.allocate_memory(task, context_a, half_limit)
+    env.kernel.allocate_memory(task, context_b, half_limit)
+    with pytest.raises(OutOfResourcesError):
+        env.kernel.allocate_memory(task, context_b, 1.0)
+
+
+def test_without_quota_device_limit_applies():
+    env = build_env("direct")
+    task, context = _task_with_context(env, "greedy")
+    env.kernel.allocate_memory(task, context, env.device.params.memory_mib)
+    with pytest.raises(OutOfResourcesError):
+        env.kernel.allocate_memory(task, context, 1.0)
+
+
+def test_memory_hog_experiment_shapes():
+    from repro.experiments import section6_dos
+
+    outcomes = section6_dos.run_memory()
+    unprotected = next(o for o in outcomes if not o.quota_enabled)
+    protected = next(o for o in outcomes if o.quota_enabled)
+    assert unprotected.victim_denied
+    assert unprotected.hog_allocated_mib == 2048.0
+    assert not protected.victim_denied
+    assert protected.hog_allocated_mib <= 1024.0

@@ -1,0 +1,88 @@
+"""Tests for the kernel polling service."""
+
+from repro.gpu.request import Request, RequestKind
+from repro.osmodel.costs import CostParams
+from repro.osmodel.polling import PollingService
+from repro.osmodel.task import Task
+
+
+def _make_channel(sim):
+    from repro.gpu.device import GpuDevice
+
+    device = GpuDevice(sim)
+    task = Task("t")
+    context = device.create_context(task)
+    return device, device.create_channel(context, RequestKind.COMPUTE)
+
+
+def test_watch_fires_at_polling_granularity(sim):
+    device, channel = _make_channel(sim)
+    costs = CostParams()
+    polling = PollingService(sim, costs)
+    request = Request(RequestKind.COMPUTE, 100.0)
+    device.submit(channel, request)
+    observed = []
+    polling.watch(channel, 1, lambda ch: observed.append(sim.now))
+    sim.run(until=5_000.0)
+    assert len(observed) == 1
+    # The request finished at 100 but polling only notices at the next
+    # 1 ms pass — the paper's completion-detection granularity.
+    assert observed[0] >= 100.0
+    assert observed[0] <= 100.0 + costs.poll_interval_us + 1.0
+
+
+def test_prompt_triggers_immediate_pass(sim):
+    device, channel = _make_channel(sim)
+    costs = CostParams()
+    polling = PollingService(sim, costs)
+    request = Request(RequestKind.COMPUTE, 10.0)
+    device.submit(channel, request)
+    observed = []
+    polling.watch(channel, 1, lambda ch: observed.append(sim.now))
+    sim.schedule(50.0, polling.prompt)
+    sim.run(until=400.0)
+    assert observed and observed[0] < 60.0
+
+
+def test_watch_already_satisfied_fires_next_pass(sim):
+    device, channel = _make_channel(sim)
+    polling = PollingService(sim, CostParams())
+    request = Request(RequestKind.COMPUTE, 5.0)
+    device.submit(channel, request)
+    sim.run(until=50.0)  # request already done, no watch yet
+    observed = []
+    polling.watch(channel, 1, lambda ch: observed.append(sim.now))
+    sim.run(until=3_000.0)
+    assert len(observed) == 1
+
+
+def test_cancel_prevents_callback(sim):
+    device, channel = _make_channel(sim)
+    polling = PollingService(sim, CostParams())
+    request = Request(RequestKind.COMPUTE, 5.0)
+    device.submit(channel, request)
+    observed = []
+    watch_id = polling.watch(channel, 1, lambda ch: observed.append(1))
+    polling.cancel(watch_id)
+    sim.run(until=3_000.0)
+    assert observed == []
+
+
+def test_unsatisfied_watch_keeps_waiting(sim):
+    device, channel = _make_channel(sim)
+    polling = PollingService(sim, CostParams())
+    observed = []
+    polling.watch(channel, 5, lambda ch: observed.append(1))
+    sim.run(until=10_000.0)
+    assert observed == []
+    assert polling.watch_count == 1
+
+
+def test_cpu_accounting_grows_with_watches(sim):
+    device, channel = _make_channel(sim)
+    costs = CostParams()
+    polling = PollingService(sim, costs)
+    polling.watch(channel, 99, lambda ch: None)
+    sim.run(until=10_000.0)
+    assert polling.passes >= 9
+    assert polling.cpu_us > 0

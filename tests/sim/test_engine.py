@@ -1,0 +1,128 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_schedule_runs_in_time_order(sim):
+    order = []
+    sim.schedule(5.0, order.append, "b")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(9.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_run_fifo(sim):
+    order = []
+    for label in "abcde":
+        sim.schedule(3.0, order.append, label)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_clock_advances_to_event_time(sim):
+    seen = []
+    sim.schedule(7.25, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [7.25]
+    assert sim.now == 7.25
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected(sim):
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_cancel_prevents_callback(sim):
+    fired = []
+    handle = sim.schedule(2.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_after_fire_is_noop(sim):
+    fired = []
+    handle = sim.schedule(2.0, fired.append, "x")
+    sim.run()
+    handle.cancel()
+    assert fired == ["x"]
+
+
+def test_run_until_stops_clock_exactly(sim):
+    sim.schedule(3.0, lambda: None)
+    sim.schedule(100.0, lambda: None)
+    sim.run(until=50.0)
+    assert sim.now == 50.0
+    assert sim.pending_events == 1
+
+
+def test_run_until_is_resumable(sim):
+    order = []
+    sim.schedule(3.0, order.append, "a")
+    sim.schedule(70.0, order.append, "b")
+    sim.run(until=50.0)
+    assert order == ["a"]
+    sim.run(until=100.0)
+    assert order == ["a", "b"]
+
+
+def test_run_until_advances_idle_clock(sim):
+    sim.run(until=123.0)
+    assert sim.now == 123.0
+
+
+def test_callbacks_can_schedule_more_work(sim):
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(1.0, lambda: order.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert order == ["first", "second"]
+
+
+def test_pending_events_excludes_cancelled(sim):
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    drop.cancel()
+    assert sim.pending_events == 1
+    assert not keep.cancelled
+
+
+def test_run_not_reentrant(sim):
+    def nested():
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    sim.schedule(1.0, nested)
+    sim.run()
+
+
+def test_step_returns_false_when_idle(sim):
+    assert sim.step() is False
+
+
+def test_independent_simulators_do_not_interact():
+    sim_a = Simulator()
+    sim_b = Simulator()
+    sim_a.schedule(5.0, lambda: None)
+    sim_b.run()
+    assert sim_b.now == 0.0
+    assert sim_a.pending_events == 1

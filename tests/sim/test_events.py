@@ -1,0 +1,108 @@
+"""Tests for one-shot events and composite conditions."""
+
+import pytest
+
+from repro.sim.events import AnyOf, Event
+
+
+def test_trigger_delivers_value_to_callbacks(sim):
+    event = sim.event()
+    seen = []
+    event.add_callback(lambda ev: seen.append(ev.value))
+    event.trigger(42)
+    sim.run()
+    assert seen == [42]
+
+
+def test_trigger_twice_raises(sim):
+    event = sim.event()
+    event.trigger()
+    with pytest.raises(RuntimeError):
+        event.trigger()
+
+
+def test_callback_added_after_trigger_still_fires(sim):
+    event = sim.event()
+    event.trigger("late")
+    seen = []
+    event.add_callback(lambda ev: seen.append(ev.value))
+    sim.run()
+    assert seen == ["late"]
+
+
+def test_callbacks_fire_at_trigger_time_not_add_time(sim):
+    event = sim.event()
+    times = []
+    event.add_callback(lambda ev: times.append(sim.now))
+    sim.schedule(10.0, event.trigger)
+    sim.run()
+    assert times == [10.0]
+
+
+def test_discard_callback_prevents_fire(sim):
+    event = sim.event()
+    seen = []
+    callback = lambda ev: seen.append(1)
+    event.add_callback(callback)
+    event.discard_callback(callback)
+    event.trigger()
+    sim.run()
+    assert seen == []
+
+
+def test_discard_unknown_callback_is_noop(sim):
+    event = sim.event()
+    event.discard_callback(lambda ev: None)
+
+
+def test_multiple_callbacks_all_fire(sim):
+    event = sim.event()
+    seen = []
+    for index in range(3):
+        event.add_callback(lambda ev, index=index: seen.append(index))
+    event.trigger()
+    sim.run()
+    assert seen == [0, 1, 2]
+
+
+def test_anyof_requires_events(sim):
+    with pytest.raises(ValueError):
+        AnyOf(sim, [])
+
+
+def test_anyof_fires_on_first_member(sim):
+    a, b = sim.event(), sim.event()
+    composite = AnyOf(sim, [a, b])
+    winners = []
+    composite.proxy.add_callback(lambda ev: winners.append(ev.value))
+    sim.schedule(5.0, b.trigger)
+    sim.schedule(9.0, a.trigger)
+    sim.run()
+    assert winners == [b]
+
+
+def test_anyof_ignores_later_triggers(sim):
+    a, b = sim.event(), sim.event()
+    composite = AnyOf(sim, [a, b])
+    winners = []
+    composite.proxy.add_callback(lambda ev: winners.append(ev.value))
+    a.trigger()
+    b.trigger()
+    sim.run()
+    assert winners == [a]
+
+
+def test_anyof_with_pretriggered_member(sim):
+    a, b = sim.event(), sim.event()
+    a.trigger("already")
+    composite = AnyOf(sim, [a, b])
+    winners = []
+    composite.proxy.add_callback(lambda ev: winners.append(ev.value))
+    sim.run()
+    assert winners == [a]
+
+
+def test_event_is_not_triggered_initially(sim):
+    event = Event(sim)
+    assert not event.triggered
+    assert event.value is None

@@ -1,0 +1,47 @@
+"""Tests for named seeded random streams."""
+
+import numpy as np
+
+from repro.sim.rng import RngRegistry
+
+
+def test_same_seed_same_name_same_stream():
+    a = RngRegistry(7).stream("x").random(10)
+    b = RngRegistry(7).stream("x").random(10)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_differ():
+    registry = RngRegistry(7)
+    a = registry.stream("x").random(10)
+    b = registry.stream("y").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(1).stream("x").random(10)
+    b = RngRegistry(2).stream("x").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_is_cached():
+    registry = RngRegistry(0)
+    assert registry.stream("x") is registry.stream("x")
+
+
+def test_creation_order_does_not_matter():
+    forward = RngRegistry(3)
+    forward.stream("a")
+    a_then = forward.stream("b").random(5)
+
+    backward = RngRegistry(3)
+    backward.stream("b")
+    b_only = backward.stream("b").random(5)
+    assert np.array_equal(a_then, b_only)
+
+
+def test_contains():
+    registry = RngRegistry(0)
+    assert "x" not in registry
+    registry.stream("x")
+    assert "x" in registry

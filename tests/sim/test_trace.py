@@ -1,0 +1,48 @@
+"""Tests for trace recording."""
+
+from repro.sim.trace import NullRecorder, TraceRecorder
+
+
+def test_emit_and_query():
+    recorder = TraceRecorder()
+    recorder.emit(1.0, "gpu", "submit", ref=1)
+    recorder.emit(2.0, "gpu", "complete", ref=1)
+    recorder.emit(3.0, "kernel", "submit", ref=2)
+    assert len(recorder) == 3
+    submits = list(recorder.records(kind="submit"))
+    assert [r.time for r in submits] == [1.0, 3.0]
+    gpu_records = list(recorder.records(source="gpu"))
+    assert len(gpu_records) == 2
+    both = list(recorder.records(kind="submit", source="kernel"))
+    assert len(both) == 1
+    assert both[0].payload == {"ref": 2}
+
+
+def test_kind_filter_drops_at_emission():
+    recorder = TraceRecorder(kinds=["keep"])
+    recorder.emit(1.0, "x", "keep")
+    recorder.emit(2.0, "x", "drop")
+    assert len(recorder) == 1
+
+
+def test_null_recorder_drops_everything():
+    recorder = NullRecorder()
+    recorder.emit(1.0, "x", "anything")
+    assert len(recorder) == 0
+
+
+def test_clear():
+    recorder = TraceRecorder()
+    recorder.emit(1.0, "x", "k")
+    recorder.clear()
+    assert len(recorder) == 0
+
+
+def test_records_are_frozen():
+    recorder = TraceRecorder()
+    recorder.emit(1.0, "x", "k", a=1)
+    record = next(recorder.records())
+    assert record.time == 1.0
+    assert record.source == "x"
+    assert record.kind == "k"
+    assert record.payload["a"] == 1

@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_list_shows_catalog(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_unknown_experiment_errors(capsys):
+    assert main(["no-such-thing"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_runs_a_quick_experiment(capsys):
+    assert main(["section3", "--duration-ms", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "Section 3" in out
+    assert "direct" in out
+
+
+def test_seed_flag_parses():
+    args = build_parser().parse_args(["figure4", "--seed", "7"])
+    assert args.seed == 7
+    assert args.experiment == "figure4"
+
+
+def test_duration_flag_default_is_none():
+    args = build_parser().parse_args(["figure4"])
+    assert args.duration_ms is None
+
+
+def test_catalog_covers_every_paper_artifact():
+    expected = {
+        "table1", "figure2", "section3", "figure4", "figure5", "figure6",
+        "figure7", "figure8", "figure9", "figure10", "protection",
+        "section6", "ablations", "preemption", "breakdown",
+    }
+    assert expected <= set(EXPERIMENTS)

@@ -1,0 +1,41 @@
+"""Tests for adversarial workloads."""
+
+import math
+
+from repro.experiments.runner import build_env, run_workloads
+from repro.osmodel.kernel import ChannelQuotaPolicy
+from repro.workloads.adversarial import ChannelHog, GreedyBatcher, InfiniteKernel
+
+
+def test_infinite_kernel_submits_runaway_after_warmup():
+    env = build_env("direct")
+    attacker = InfiniteKernel(normal_size_us=10.0, normal_requests=5)
+    run_workloads(env, [attacker], 20_000.0, 0.0)
+    assert len(attacker.requests) == 6
+    assert math.isinf(attacker.requests[-1].size_us)
+    assert len(attacker.rounds) == 5
+
+
+def test_greedy_batcher_round_is_one_batch():
+    env = build_env("direct")
+    batcher = GreedyBatcher(work_unit_us=10.0, batch_factor=5)
+    run_workloads(env, [batcher], 5_000.0, 0.0)
+    assert all(request.size_us == 50.0 for request in batcher.requests)
+
+
+def test_channel_hog_exhausts_unprotected_device():
+    env = build_env("direct")
+    hog = ChannelHog()
+    run_workloads(env, [hog], 5_000.0, 0.0)
+    assert hog.contexts_opened == env.device.params.max_contexts
+    assert hog.denied is not None
+
+
+def test_channel_hog_stopped_by_quota():
+    quota = ChannelQuotaPolicy(channels_per_task=4)
+    env = build_env("direct", quota=quota)
+    hog = ChannelHog()
+    run_workloads(env, [hog], 5_000.0, 0.0)
+    assert hog.channels_opened == quota.channels_per_task
+    assert hog.denied is not None
+    assert env.device.live_channel_count <= quota.channels_per_task

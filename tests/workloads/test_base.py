@@ -1,0 +1,106 @@
+"""Tests for the workload base class."""
+
+import math
+
+import pytest
+
+from repro.experiments.runner import build_env, run_workloads
+from repro.gpu.request import RequestKind
+from repro.workloads.base import Workload
+
+
+class TwoRequestApp(Workload):
+    """Submits one blocking pair per round, forever."""
+
+    def __init__(self, sizes=(10.0, 30.0)):
+        super().__init__("two-request")
+        self.sizes = sizes
+
+    def body(self):
+        channel = self.open_channel(RequestKind.COMPUTE)
+        while True:
+            start = self.sim.now
+            for size in self.sizes:
+                yield from self.submit(channel, size)
+            self.rounds.record(start, self.sim.now)
+
+
+class PipelinedApp(Workload):
+    def __init__(self, depth):
+        super().__init__("pipelined")
+        self.depth = depth
+
+    def body(self):
+        channel = self.open_channel(RequestKind.COMPUTE)
+        for _ in range(20):
+            yield from self.submit_pipelined(channel, 50.0, self.depth)
+        yield from self.drain_pipeline()
+        self.rounds.record(0.0, self.sim.now)
+
+
+def test_rounds_and_requests_recorded():
+    env = build_env("direct")
+    app = TwoRequestApp()
+    run_workloads(env, [app], 10_000.0, 0.0)
+    assert len(app.rounds) > 100
+    assert abs(len(app.requests) - 2 * len(app.rounds)) <= 2
+
+
+def test_mean_request_size_excludes_dma():
+    app = TwoRequestApp()
+    app.requests = []
+    from repro.gpu.request import Request
+
+    app.requests.append(Request(RequestKind.COMPUTE, 100.0))
+    app.requests.append(Request(RequestKind.DMA, 999.0))
+    assert app.mean_request_size() == 100.0
+
+
+def test_mean_request_size_ignores_infinite():
+    from repro.gpu.request import Request
+
+    app = TwoRequestApp()
+    app.requests = [
+        Request(RequestKind.COMPUTE, 100.0),
+        Request(RequestKind.COMPUTE, math.inf),
+    ]
+    assert app.mean_request_size() == 100.0
+
+
+def test_pipelining_overlaps_cpu_and_gpu():
+    env = build_env("direct")
+    deep = PipelinedApp(depth=4)
+    run_workloads(env, [deep], 50_000.0, 0.0)
+    depth1_env = build_env("direct")
+    shallow = PipelinedApp(depth=1)
+    run_workloads(depth1_env, [shallow], 50_000.0, 0.0)
+    # Both drain 20 x 50us of work; deeper pipelining cannot be slower.
+    assert deep.rounds._ends[0] <= shallow.rounds._ends[0] + 1.0
+
+
+def test_jittered_is_mean_preserving():
+    env = build_env("direct")
+    app = TwoRequestApp()
+    app.start(env.sim, env.kernel, env.rng)
+    draws = [app.jittered(100.0, 0.1) for _ in range(4000)]
+    assert abs(sum(draws) / len(draws) - 100.0) < 2.0
+
+
+def test_jittered_zero_sigma_is_identity():
+    env = build_env("direct")
+    app = TwoRequestApp()
+    app.start(env.sim, env.kernel, env.rng)
+    assert app.jittered(100.0, 0.0) == 100.0
+
+
+def test_normal_exit_releases_resources():
+    class OneShot(Workload):
+        def body(self):
+            channel = self.open_channel(RequestKind.COMPUTE)
+            yield from self.submit(channel, 10.0)
+
+    env = build_env("direct")
+    app = OneShot("oneshot")
+    run_workloads(env, [app], 5_000.0, 0.0)
+    assert not app.task.alive
+    assert env.device.live_channel_count == 0

@@ -1,0 +1,65 @@
+"""Tests for the Throttle microbenchmark."""
+
+import pytest
+
+from repro.experiments.runner import build_env, run_workloads
+from repro.workloads.throttle import Throttle
+
+
+def test_round_is_one_request():
+    env = build_env("direct")
+    workload = Throttle(100.0)
+    run_workloads(env, [workload], 10_000.0, 0.0)
+    # The last request may still be in flight when the clock stops.
+    assert len(workload.requests) - len(workload.rounds) <= 1
+
+
+def test_round_time_tracks_request_size():
+    env = build_env("direct")
+    workload = Throttle(250.0)
+    run_workloads(env, [workload], 20_000.0, 2_000.0)
+    stats = workload.round_stats(2_000.0)
+    assert 250.0 <= stats.mean_us < 251.0
+
+
+def test_sleep_ratio_reduces_throughput():
+    env_busy = build_env("direct")
+    busy = Throttle(100.0, name="busy")
+    run_workloads(env_busy, [busy], 50_000.0, 0.0)
+
+    env_sleepy = build_env("direct")
+    sleepy = Throttle(100.0, sleep_ratio=0.8, name="sleepy")
+    run_workloads(env_sleepy, [sleepy], 50_000.0, 0.0)
+    ratio = len(sleepy.rounds) / len(busy.rounds)
+    assert 0.15 < ratio < 0.25  # ~20% duty cycle
+
+
+def test_sleep_us_formula():
+    assert Throttle(100.0, sleep_ratio=0.5).sleep_us == pytest.approx(100.0)
+    assert Throttle(100.0, sleep_ratio=0.8).sleep_us == pytest.approx(400.0)
+    assert Throttle(100.0).sleep_us == 0.0
+
+
+def test_rounds_exclude_sleep_time():
+    env = build_env("direct")
+    sleepy = Throttle(100.0, sleep_ratio=0.8)
+    run_workloads(env, [sleepy], 30_000.0, 3_000.0)
+    stats = sleepy.round_stats(3_000.0)
+    assert stats.mean_us < 105.0
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        Throttle(0.0)
+    with pytest.raises(ValueError):
+        Throttle(10.0, sleep_ratio=1.0)
+    with pytest.raises(ValueError):
+        Throttle(10.0, sleep_ratio=-0.1)
+
+
+def test_jitter_varies_sizes():
+    env = build_env("direct")
+    workload = Throttle(100.0, jitter_sigma=0.2)
+    run_workloads(env, [workload], 20_000.0, 0.0)
+    sizes = {request.size_us for request in workload.requests}
+    assert len(sizes) > 10
