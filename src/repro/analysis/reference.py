@@ -10,7 +10,6 @@ claim is the paper's headline.  `check_claim` evaluates a measured value;
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 
 @dataclass(frozen=True)

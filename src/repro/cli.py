@@ -1,7 +1,8 @@
 """Command-line interface: ``repro <experiment> [--duration-ms N] [--seed N]``.
 
 Runs any paper experiment and prints its table.  ``repro list`` shows the
-catalog; ``repro all`` regenerates everything (slow).
+catalog; ``repro all`` regenerates everything (slow).  ``repro staticcheck``
+runs the neonlint static analyzer (see docs/STATIC_ANALYSIS.md).
 """
 
 from __future__ import annotations
@@ -86,6 +87,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "staticcheck":
+        # Delegate to the neonlint CLI, which owns its own flags
+        # (--format, --config, --list-rules) and exit-code contract.
+        from repro.staticcheck.cli import main as staticcheck_main
+
+        return staticcheck_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, (_, description) in EXPERIMENTS.items():

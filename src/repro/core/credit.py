@@ -47,7 +47,7 @@ class CreditScheduler(SchedulerBase):
     # Event interface
     # ------------------------------------------------------------------
     def on_channel_tracked(self, channel: "Channel") -> None:
-        channel.register_page.protect()
+        self.neon.engage_channel(channel)
         self._credit.setdefault(channel.task.task_id, 0.0)
 
     def on_fault(

@@ -19,4 +19,4 @@ class DirectAccess(SchedulerBase):
     name = "direct"
 
     def on_channel_tracked(self, channel) -> None:
-        channel.register_page.unprotect()
+        self.neon.disengage_channel(channel)

@@ -36,7 +36,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.base import SchedulerBase, register_scheduler
 from repro.core.virtual_time import VirtualTimeTable
-from repro.gpu.request import RequestKind
+from repro.neon.stats import ChannelKind
 from repro.sim.events import AnyOf
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -136,7 +136,7 @@ class DisengagedFairQueueing(SchedulerBase):
         # New channels start intercepted; they join the free-run rotation
         # at the next engagement decision (mid-free-run mappings are always
         # captured, Section 4).
-        channel.register_page.protect()
+        self.neon.engage_channel(channel)
         self.vt.ensure(channel.task.task_id)
         if self._activation is not None and not self._activation.triggered:
             self._activation.trigger()
@@ -203,10 +203,10 @@ class DisengagedFairQueueing(SchedulerBase):
         """Requests to observe: tripled for combined compute+graphics tasks
         (the paper uses 96 instead of 32) to capture bimodal sizes."""
         kinds = {
-            channel.kind
+            self.neon.observation(channel).channel_kind
             for channel in self.neon.channels_of(task)
         }
-        if RequestKind.GRAPHICS in kinds and len(kinds) > 1:
+        if ChannelKind.GRAPHICS in kinds and len(kinds) > 1:
             return self.costs.sample_max_requests * 3
         return self.costs.sample_max_requests
 
@@ -296,7 +296,7 @@ class DisengagedFairQueueing(SchedulerBase):
 
         # Mark engagement points for next interval's activity detection.
         for channel in self.neon.live_channels():
-            self.neon.observation(channel).mark_engagement(channel.refcounter)
+            self.neon.mark_engagement(channel)
 
         # 6. Free run.
         self._phase = "freerun"
@@ -334,8 +334,10 @@ class DisengagedFairQueueing(SchedulerBase):
             culprit = self.neon.identify_running_task()
             if culprit is None or not culprit.alive:
                 # No attributable context; fall back to killing everything
-                # still holding unfinished work.
-                for task in {channel.task for channel in result.offenders}:
+                # still holding unfinished work.  Kill order is sorted so
+                # trajectories stay reproducible (neonlint NEON204).
+                offenders = {channel.task for channel in result.offenders}
+                for task in sorted(offenders, key=lambda task: task.task_id):
                     self.kernel.kill_task(
                         task, "request exceeded the documented maximum run time"
                     )
@@ -345,11 +347,17 @@ class DisengagedFairQueueing(SchedulerBase):
             )
 
     def _detect_activity(self) -> dict[int, bool]:
-        """Which tasks submitted work since the last engagement mark."""
+        """Which tasks submitted work since the last engagement mark.
+
+        Uses the reference numbers recovered by the drain's ring-buffer
+        scans (``last_scanned_ref``): the barrier is up, so no submission
+        can have slipped in after the scan and the scanned value is
+        current.
+        """
         activity: dict[int, bool] = {}
         for channel in self.neon.live_channels():
             observation = self.neon.observation(channel)
-            advanced = channel.last_submitted_ref > observation.ref_at_last_engagement
+            advanced = observation.last_scanned_ref > observation.ref_at_last_engagement
             if advanced:
                 activity[channel.task.task_id] = True
         return activity
@@ -358,7 +366,7 @@ class DisengagedFairQueueing(SchedulerBase):
         channels = []
         for channel in self.neon.channels_of(task):
             observation = self.neon.observation(channel)
-            if channel.last_submitted_ref > observation.ref_at_last_engagement:
+            if observation.last_scanned_ref > observation.ref_at_last_engagement:
                 channels.append(channel)
         return channels
 
@@ -439,12 +447,9 @@ class DisengagedFairQueueing(SchedulerBase):
 
         Submission counts are known exactly during sampling (every request
         faulted); completion state comes from the kernel-mapped reference
-        counters.
+        counters.  Both observations live behind the interception layer.
         """
-        return all(
-            channel.refcounter >= channel.last_submitted_ref
-            for channel in self.neon.channels_of(task)
-        )
+        return self.neon.task_quiet(task)
 
 
 @register_scheduler
@@ -468,10 +473,10 @@ class DisengagedFairQueueingHW(DisengagedFairQueueing):
     def _estimate_usage(
         self, active_tasks: list["Task"], activity: dict[int, bool]
     ) -> dict[int, float]:
-        device = self.kernel.device
+        device = self.kernel.device  # neonlint: allow[NEON102] §6.1 vendor-statistics ablation: the documented usage interface
         usage: dict[int, float] = {}
         for task in active_tasks:
-            cumulative = device.task_usage(task)
+            cumulative = device.task_usage(task)  # neonlint: allow[NEON102] §6.1 vendor-statistics ablation: the documented usage interface
             mark = self._usage_marks.get(task.task_id, 0.0)
             usage[task.task_id] = max(0.0, cumulative - mark)
             self._usage_marks[task.task_id] = cumulative

@@ -31,11 +31,11 @@ class DisengagedTimeslice(TimesliceScheduler):
         # Channels of the current holder may appear mid-slice; they get
         # direct access immediately, everyone else is intercepted.
         if channel.task is self.token_holder:
-            channel.register_page.unprotect()
+            self.neon.disengage_channel(channel)
         else:
-            channel.register_page.protect()
+            self.neon.engage_channel(channel)
             if self.neon.preemption_available:
-                channel.masked = True
+                self.neon.mask_channel(channel)
         if self._activation is not None and not self._activation.triggered:
             self._activation.trigger()
 

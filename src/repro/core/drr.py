@@ -64,7 +64,7 @@ class DeficitRoundRobin(SchedulerBase):
     # Event interface
     # ------------------------------------------------------------------
     def on_channel_tracked(self, channel: "Channel") -> None:
-        channel.register_page.protect()
+        self.neon.engage_channel(channel)
         self._sizes[channel.channel_id] = RequestSizeEstimator()
 
     def on_fault(

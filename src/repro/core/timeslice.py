@@ -42,9 +42,9 @@ class TimesliceScheduler(SchedulerBase):
     # Event interface
     # ------------------------------------------------------------------
     def on_channel_tracked(self, channel: "Channel") -> None:
-        channel.register_page.protect()  # engaged: intercept everything
+        self.neon.engage_channel(channel)  # engaged: intercept everything
         if self.neon.preemption_available and channel.task is not self.token_holder:
-            channel.masked = True  # park until the task's next slice
+            self.neon.mask_channel(channel)  # park until the task's next slice
         if self._activation is not None and not self._activation.triggered:
             self._activation.trigger()
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.experiments.runner import build_env, measure, run_workloads, solo_baseline
+from repro.experiments.runner import build_env, measure, run_workloads
 from repro.metrics.tables import format_table
 from repro.osmodel.costs import CostParams
 from repro.workloads.adversarial import GreedyBatcher, InfiniteKernel

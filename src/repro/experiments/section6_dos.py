@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import OutOfResourcesError
-from repro.experiments.runner import build_env, run_workloads
+from repro.experiments.runner import build_env
 from repro.metrics.tables import format_table
 from repro.osmodel.kernel import ChannelQuotaPolicy, MemoryQuotaPolicy
 from repro.workloads.adversarial import ChannelHog, MemoryHog

@@ -14,10 +14,11 @@ scans, and polling — never from simulator ground truth.
 from repro.neon.barrier import DrainResult
 from repro.neon.discovery import ChannelDiscovery, DiscoveryState, Vma, VmaKind
 from repro.neon.interception import InterceptionManager
-from repro.neon.stats import ChannelObservations, RequestSizeEstimator
+from repro.neon.stats import ChannelKind, ChannelObservations, RequestSizeEstimator
 
 __all__ = [
     "ChannelDiscovery",
+    "ChannelKind",
     "ChannelObservations",
     "DiscoveryState",
     "DrainResult",

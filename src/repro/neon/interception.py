@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.neon.barrier import DrainResult
-from repro.neon.stats import ChannelObservations
+from repro.neon.stats import ChannelKind, ChannelObservations
 from repro.sim.events import AnyOf
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -45,9 +45,16 @@ class InterceptionManager:
     # Channel tracking
     # ------------------------------------------------------------------
     def track(self, channel: "Channel") -> ChannelObservations:
-        """Begin tracking a newly active channel."""
+        """Begin tracking a newly active channel.
+
+        The engine class is classified here — discovery just finished
+        mapping the channel's VMAs — and recorded at observation level so
+        schedulers never touch the device-side kind enum.
+        """
         self.channels[channel.channel_id] = channel
-        observation = ChannelObservations(channel.channel_id)
+        observation = ChannelObservations(
+            channel.channel_id, ChannelKind(channel.kind.value)
+        )
         self.observations[channel.channel_id] = observation
         return observation
 
@@ -100,6 +107,18 @@ class InterceptionManager:
     def flip_cost(self, flips: int) -> float:
         """Page-table update cost for ``flips`` protection changes (µs)."""
         return flips * self.costs.page_flip_us
+
+    # ------------------------------------------------------------------
+    # Runlist masking (requires hardware preemption support, §6.2)
+    # ------------------------------------------------------------------
+    def mask_channel(self, channel: "Channel") -> None:
+        """Remove one channel from the hardware runlist."""
+        channel.masked = True
+
+    def unmask_channel(self, channel: "Channel") -> None:
+        """Reinstate one channel on the runlist."""
+        channel.masked = False
+        self.kernel.device._engine_for(channel.kind).notify()
 
     # ------------------------------------------------------------------
     # Scans (the post-re-engagement status update, Section 4)
@@ -202,14 +221,12 @@ class InterceptionManager:
     def mask_task(self, task: "Task") -> None:
         """Remove the task's channels from the hardware runlist."""
         for channel in self.channels_of(task):
-            channel.masked = True
+            self.mask_channel(channel)
 
     def unmask_task(self, task: "Task") -> None:
         """Reinstate the task's channels on the runlist."""
-        device = self.kernel.device
         for channel in self.channels_of(task):
-            channel.masked = False
-            device._engine_for(channel.kind).notify()
+            self.unmask_channel(channel)
 
     # ------------------------------------------------------------------
     # Runaway identification (the Section 6.2 hardware assist)
@@ -232,6 +249,25 @@ class InterceptionManager:
     # ------------------------------------------------------------------
     # Observed statistics
     # ------------------------------------------------------------------
+    def mark_engagement(self, channel: "Channel") -> None:
+        """Snapshot the channel's reference counter as this engagement's
+        activity baseline.  The counter page is kernel-mapped (the polling
+        thread reads it continuously), so the read is free."""
+        self.observation(channel).mark_engagement(channel.refcounter)
+
+    def task_quiet(self, task: "Task") -> bool:
+        """Nothing outstanding on any of the task's channels.
+
+        Judged purely from legal observations: during a sampling window
+        every submission faults (so the last submitted reference number is
+        known exactly), and completions come from the kernel-mapped
+        reference counters.
+        """
+        return all(
+            channel.refcounter >= channel.last_submitted_ref
+            for channel in self.channels_of(task)
+        )
+
     def record_sampled_service(self, channel: "Channel", service_us: float) -> None:
         """Feed one sampled request-size observation for a channel."""
         observation = self.observations.get(channel.channel_id)

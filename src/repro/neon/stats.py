@@ -9,8 +9,25 @@ averages as its resource-usage proxy (Section 3.3's software mechanism).
 
 from __future__ import annotations
 
+import enum
 from collections import deque
 from typing import Optional
+
+
+class ChannelKind(enum.Enum):
+    """Engine class of a channel, as learned at discovery time.
+
+    This is the *observation-level* twin of the device's request-kind
+    enum: NEON's initialization state machine classifies each channel
+    while mapping its three VMAs (Section 4), so the kind is legitimate
+    scheduler knowledge.  Schedulers import this — never
+    ``repro.gpu.request.RequestKind`` — keeping the disengagement
+    boundary import-clean (enforced by neonlint rule NEON101).
+    """
+
+    COMPUTE = "compute"
+    GRAPHICS = "graphics"
+    DMA = "dma"
 
 
 class RequestSizeEstimator:
@@ -71,8 +88,17 @@ class ObservedServiceMeter:
 class ChannelObservations:
     """Everything the scheduler has legally observed about one channel."""
 
-    def __init__(self, channel_id: int, window: int = 128) -> None:
+    def __init__(
+        self,
+        channel_id: int,
+        kind: Optional[ChannelKind] = None,
+        window: int = 128,
+    ) -> None:
         self.channel_id = channel_id
+        #: Engine class recorded by discovery (None if never classified).
+        #: Named ``channel_kind`` — not ``kind`` — so it never collides
+        #: with the device-side attribute neonlint forbids (NEON102).
+        self.channel_kind = kind
         self.sizes = RequestSizeEstimator(window)
         #: Last submitted reference number seen at a re-engagement scan.
         self.last_scanned_ref = 0

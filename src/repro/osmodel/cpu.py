@@ -13,7 +13,7 @@ is "not enough to impose a noticeable load even for single-CPU systems".
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator

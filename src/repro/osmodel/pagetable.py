@@ -9,7 +9,6 @@ or protected (stores fault).
 
 from __future__ import annotations
 
-from typing import Optional
 
 
 class RegisterPage:

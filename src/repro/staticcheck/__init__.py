@@ -1,0 +1,39 @@
+"""neonlint — AST-based enforcement of the repro architecture contract.
+
+The reproduction's central claim (DESIGN.md, paper Section 3) is that
+schedulers act only on information observable through the interception
+interface — faults, reference counters, ring-buffer scans — never on
+ground-truth device state.  The code encodes that as "all device knowledge
+flows through :class:`~repro.neon.interception.InterceptionManager`", and
+this package machine-checks it, the way the eBPF verifier checks GPU
+scheduling policies in the extensible-OS-policy line of work.
+
+Three rule families:
+
+* **boundary** (``NEON1xx``) — modules under ``repro.core`` may not import
+  ``repro.gpu``/``repro.osmodel`` internals at runtime nor dereference
+  ground-truth channel/device attributes;
+* **determinism** (``NEON2xx``) — no wall clocks, no stdlib ``random``,
+  no unseeded/global numpy RNG outside the seeded-stream registry, no
+  iteration over unordered sets;
+* **generator discipline** (``NEON3xx``) — virtual-time-consuming
+  generator methods must be driven with ``yield from``; engagement flip
+  counts must not be silently discarded.
+
+Run it with ``python -m repro.staticcheck src`` or ``repro staticcheck``.
+See ``docs/STATIC_ANALYSIS.md`` for the full rule catalog and the
+allowlist format.
+"""
+
+from repro.staticcheck.config import Config, load_config
+from repro.staticcheck.core import Violation, analyze_paths, collect_files
+from repro.staticcheck.rules import RULES
+
+__all__ = [
+    "Config",
+    "RULES",
+    "Violation",
+    "analyze_paths",
+    "collect_files",
+    "load_config",
+]

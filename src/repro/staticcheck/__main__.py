@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.staticcheck``."""
+
+import sys
+
+from repro.staticcheck.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""``python -m repro.staticcheck`` / ``repro staticcheck`` — the CLI.
+
+Exit codes: 0 clean, 1 violations found, 2 usage error (unknown path or
+unreadable config).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.staticcheck.config import load_config
+from repro.staticcheck.core import analyze_paths, collect_files
+from repro.staticcheck.report import format_report
+from repro.staticcheck.rules import RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.staticcheck",
+        description=(
+            "neonlint: enforce the disengagement boundary, simulation "
+            "determinism, and virtual-time generator discipline "
+            "(docs/STATIC_ANALYSIS.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help="TOML config overriding [tool.neonlint] discovery",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, description in sorted(RULES.items()):
+            print(f"{rule_id}  {description}")
+        return 0
+
+    paths = [Path(path) for path in args.paths]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such file or directory: {path}", file=sys.stderr)
+        return 2
+    try:
+        config = load_config(explicit=args.config, near=paths)
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"error: could not load config: {exc}", file=sys.stderr)
+        return 2
+
+    files_checked = len(collect_files(paths))
+    violations = analyze_paths(paths, config)
+    print(format_report(violations, files_checked, args.format))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""Configuration and allowlist loading for neonlint.
+
+Defaults encode the repo's own contract; a ``[tool.neonlint]`` table in
+``pyproject.toml`` (auto-discovered upward from the checked paths) or an
+explicit ``--config file.toml`` can override any field.  Audited
+exceptions are granted per line, either with an inline pragma::
+
+    cumulative = device.task_usage(task)  # neonlint: allow[NEON102] vendor-statistics ablation
+
+or with an ``allow`` entry in the config file::
+
+    allow = ["repro/core/disengaged_fq.py:472:NEON102"]
+
+Entries are ``<path-suffix>:<line>:<RULE>``; ``*`` matches any line.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tomllib
+from pathlib import Path
+from typing import Iterable, Optional
+
+#: Channel/device attributes that constitute ground truth: queue contents,
+#: in-flight request state, engine internals, and the vendor usage
+#: accounting.  Reference to any of these from a boundary module means the
+#: scheduler is peeking past the interception layer.
+DEFAULT_GROUND_TRUTH_ATTRIBUTES = frozenset(
+    {
+        # Channel internals (repro.gpu.channel.Channel)
+        "queue",
+        "running",
+        "register_page",
+        "masked",
+        "refcounter",
+        "last_submitted_ref",
+        "submitted_count",
+        "completed_count",
+        "kind",
+        # Request ground truth (repro.gpu.request.Request)
+        "size_us",
+        "remaining_us",
+        "never_completes",
+        # Device/engine internals (repro.gpu.device, repro.gpu.engine)
+        "device",
+        "engines",
+        "main_engine",
+        "current_channel",
+        "task_usage",
+        "task_usage_by_kind",
+        # Task-side device handles (repro.osmodel.task.Task)
+        "contexts",
+    }
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Config:
+    """Everything the checkers need to know about the project layout."""
+
+    #: Module prefixes the boundary rules apply to.
+    boundary_modules: tuple[str, ...] = ("repro.core",)
+    #: Module prefixes boundary modules may not import at runtime.
+    internal_import_prefixes: tuple[str, ...] = ("repro.gpu", "repro.osmodel")
+    #: Attribute names treated as ground-truth dereferences (NEON102).
+    ground_truth_attributes: frozenset[str] = DEFAULT_GROUND_TRUTH_ATTRIBUTES
+    #: Modules allowed to own randomness (the seeded-stream registry).
+    rng_modules: tuple[str, ...] = ("repro.sim.rng",)
+    #: Known cross-module virtual-time generator methods (NEON301/302).
+    generator_methods: tuple[str, ...] = ("drain", "scan_channel")
+    #: Bulk engagement methods whose flip count must be charged (NEON303).
+    flip_methods: tuple[str, ...] = ("engage_all", "engage_task", "disengage_task")
+    #: File allowlist entries: ``path-suffix:line:RULE`` (line may be ``*``).
+    allow: tuple[str, ...] = ()
+
+    def is_boundary_module(self, module: str) -> bool:
+        return _has_prefix(module, self.boundary_modules)
+
+    def is_internal_import(self, module: str) -> bool:
+        return _has_prefix(module, self.internal_import_prefixes)
+
+    def is_rng_module(self, module: str) -> bool:
+        return _has_prefix(module, self.rng_modules)
+
+    def allowlisted(self, path: Path, line: int, rule_id: str) -> bool:
+        """True when a config-file allow entry covers this violation."""
+        posix = path.as_posix()
+        for entry in self.allow:
+            try:
+                suffix, entry_line, entry_rule = entry.rsplit(":", 2)
+            except ValueError:
+                continue
+            if entry_rule != rule_id:
+                continue
+            if entry_line not in ("*", str(line)):
+                continue
+            if posix.endswith(suffix):
+                return True
+        return False
+
+
+def _has_prefix(module: str, prefixes: Iterable[str]) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".") for prefix in prefixes
+    )
+
+
+_TUPLE_FIELDS = (
+    "boundary_modules",
+    "internal_import_prefixes",
+    "rng_modules",
+    "generator_methods",
+    "flip_methods",
+    "allow",
+)
+
+
+def _config_from_table(table: dict) -> Config:
+    kwargs: dict = {}
+    for field in _TUPLE_FIELDS:
+        if field in table:
+            kwargs[field] = tuple(str(item) for item in table[field])
+    if "ground_truth_attributes" in table:
+        kwargs["ground_truth_attributes"] = frozenset(
+            str(item) for item in table["ground_truth_attributes"]
+        )
+    return Config(**kwargs)
+
+
+def load_config(
+    explicit: Optional[Path] = None, near: Iterable[Path] = ()
+) -> Config:
+    """Build the effective configuration.
+
+    ``explicit`` names a TOML file whose top level (or ``[tool.neonlint]``
+    table) overrides the defaults.  Otherwise the directories of ``near``
+    are walked upward looking for a ``pyproject.toml`` with a
+    ``[tool.neonlint]`` table; absent that, defaults apply.
+    """
+    if explicit is not None:
+        data = tomllib.loads(Path(explicit).read_text())
+        table = data.get("tool", {}).get("neonlint", data)
+        return _config_from_table(table)
+    for start in near:
+        base = Path(start).resolve()
+        if not base.is_dir():
+            base = base.parent
+        for candidate_dir in [base, *base.parents]:
+            candidate = candidate_dir / "pyproject.toml"
+            if not candidate.is_file():
+                continue
+            data = tomllib.loads(candidate.read_text())
+            table = data.get("tool", {}).get("neonlint")
+            if table is not None:
+                return _config_from_table(table)
+            return Config()
+    return Config()

@@ -1,0 +1,142 @@
+"""neonlint core — module contexts, pragma parsing, and the analysis driver.
+
+Checkers are pure functions of a parsed module: they receive a
+:class:`ModuleContext` (path, dotted module name, AST, raw source lines)
+and yield :class:`Violation` records.  Suppression — inline pragmas and
+config-file allow entries — is applied centrally here so every rule gets
+it for free.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.staticcheck.config import Config
+
+#: Inline per-line allowlist pragma: ``# neonlint: allow[NEON102] reason``.
+PRAGMA_RE = re.compile(r"neonlint:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+#: Rule id reported for files that do not parse.
+PARSE_ERROR_RULE = "NEON000"
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Violation:
+    """One rule violation, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+class ModuleContext:
+    """A parsed module plus everything checkers need to judge it."""
+
+    def __init__(self, path: Path, module: str, source: str) -> None:
+        self.path = path
+        self.module = module
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        #: line number -> set of rule ids granted an audited exception.
+        self.pragmas: dict[int, set[str]] = {}
+        for lineno, text in enumerate(self.lines, start=1):
+            match = PRAGMA_RE.search(text)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",")}
+                self.pragmas.setdefault(lineno, set()).update(rules)
+
+    def pragma_allows(self, line: int, rule_id: str) -> bool:
+        return rule_id in self.pragmas.get(line, ())
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, derived from the ``__init__.py`` package chain.
+
+    ``src/repro/core/base.py`` → ``repro.core.base``; a loose file outside
+    any package is just its stem.
+    """
+    path = path.resolve()
+    parts = [] if path.stem == "__init__" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts)) or path.stem
+
+
+def collect_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        else:
+            files.add(path)
+    return sorted(files)
+
+
+def scope_statements(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into nested function/class scopes.
+
+    The root's own body is walked even when the root is itself a function
+    or class definition.
+    """
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def analyze_file(path: Path, config: "Config") -> list[Violation]:
+    """Run every checker over one file, applying suppression."""
+    from repro.staticcheck.rules import build_checkers
+
+    try:
+        source = path.read_text(encoding="utf-8")
+        ctx = ModuleContext(path, module_name_for(path), source)
+    except (OSError, SyntaxError, ValueError) as exc:
+        return [
+            Violation(
+                path=str(path),
+                line=getattr(exc, "lineno", 0) or 0,
+                col=getattr(exc, "offset", 0) or 0,
+                rule_id=PARSE_ERROR_RULE,
+                message=f"file could not be analyzed: {exc}",
+            )
+        ]
+    violations = []
+    for checker in build_checkers(config):
+        for violation in checker.check(ctx, config):
+            if ctx.pragma_allows(violation.line, violation.rule_id):
+                continue
+            if config.allowlisted(path, violation.line, violation.rule_id):
+                continue
+            violations.append(violation)
+    return violations
+
+
+def analyze_paths(paths: Iterable[Path], config: "Config") -> list[Violation]:
+    """Analyze every Python file under ``paths``; sorted violations."""
+    violations: list[Violation] = []
+    for path in collect_files(paths):
+        violations.extend(analyze_file(path, config))
+    return sorted(violations)

@@ -1,0 +1,55 @@
+"""Violation reporters — human text and machine JSON.
+
+Text lines are ``path:line:col: RULE message`` (the classic compiler
+shape, so editors and CI annotations parse them for free).  JSON output
+is a single object with the violation list and counters, for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.staticcheck.core import Violation
+
+
+def format_text(violations: Sequence[Violation], files_checked: int) -> str:
+    lines = [violation.render() for violation in violations]
+    if violations:
+        by_rule: dict[str, int] = {}
+        for violation in violations:
+            by_rule[violation.rule_id] = by_rule.get(violation.rule_id, 0) + 1
+        breakdown = ", ".join(
+            f"{rule} x{count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append(
+            f"{len(violations)} violation(s) in {files_checked} file(s) "
+            f"checked ({breakdown})"
+        )
+    else:
+        lines.append(f"clean: {files_checked} file(s) checked, 0 violations")
+    return "\n".join(lines)
+
+
+def format_json(violations: Sequence[Violation], files_checked: int) -> str:
+    return json.dumps(
+        {
+            "files_checked": files_checked,
+            "violation_count": len(violations),
+            "violations": [violation.as_dict() for violation in violations],
+        },
+        indent=2,
+    )
+
+
+def format_report(
+    violations: Sequence[Violation], files_checked: int, fmt: str
+) -> str:
+    if fmt == "json":
+        return format_json(violations, files_checked)
+    if fmt == "text":
+        return format_text(violations, files_checked)
+    raise ValueError(f"unknown report format: {fmt!r}")
+
+
+__all__ = ["format_json", "format_report", "format_text"]

@@ -1,0 +1,40 @@
+"""Rule catalog and checker registry.
+
+Rule ids are stable: tests, pragmas, and allowlists refer to them, so they
+must never be renumbered.  New rules append within their family.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.staticcheck.rules.boundary import BoundaryChecker
+from repro.staticcheck.rules.determinism import DeterminismChecker
+from repro.staticcheck.rules.generators import GeneratorChecker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.staticcheck.config import Config
+
+#: Rule id -> one-line description (the ``--list-rules`` catalog).
+RULES: dict[str, str] = {
+    "NEON000": "file could not be parsed/analyzed",
+    "NEON101": "boundary module imports repro.gpu/repro.osmodel internals at runtime",
+    "NEON102": "boundary module dereferences a ground-truth channel/device attribute",
+    "NEON201": "wall-clock read (time.time/datetime.now/...) in simulation code",
+    "NEON202": "stdlib random imported outside the seeded-stream registry",
+    "NEON203": "unseeded or global numpy RNG outside the seeded-stream registry",
+    "NEON204": "iteration over an unordered set feeds nondeterministic decisions",
+    "NEON301": "virtual-time generator called but discarded (missing yield from)",
+    "NEON302": "generator yielded as an object (yield instead of yield from)",
+    "NEON303": "engagement flip count discarded (page-flip cost never charged)",
+}
+
+_CHECKERS = (BoundaryChecker, DeterminismChecker, GeneratorChecker)
+
+
+def build_checkers(config: "Config"):
+    """Instantiate one checker per rule family."""
+    return [checker() for checker in _CHECKERS]
+
+
+__all__ = ["RULES", "build_checkers"]

@@ -18,7 +18,7 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Optional, Sequence, Union
+from typing import Iterable, Sequence, Union
 
 import numpy as np
 
@@ -75,7 +75,12 @@ class TraceWorkload(Workload):
 
     def body(self):
         kinds = {entry.kind for entry in self.entries}
-        channels = {kind: self.open_channel(kind) for kind in kinds}
+        # Open in sorted order so channel-id assignment (and with it the
+        # whole trajectory) is independent of set hash order.
+        channels = {
+            kind: self.open_channel(kind)
+            for kind in sorted(kinds, key=lambda kind: kind.value)
+        }
         epoch = self.sim.now
         while True:
             for previous_at, entry in zip(

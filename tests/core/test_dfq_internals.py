@@ -50,8 +50,13 @@ def test_activity_detection_sees_only_submitters(quick_costs):
     # engagement boundary and run one more interval.
     quiet.task.process.kill()
     for channel in scheduler.neon.live_channels():
-        scheduler.neon.observation(channel).mark_engagement(channel.refcounter)
+        scheduler.neon.mark_engagement(channel)
     env.sim.run(until=60_000.0)
+    # Activity detection consumes ring-buffer scan results (normally paid
+    # for by the episode's drain); perform the scans explicitly here.
+    for channel in scheduler.neon.live_channels():
+        for _cost in scheduler.neon.scan_channel(channel):
+            pass
     activity = scheduler._detect_activity()
     assert activity.get(busy.task.task_id)
     assert not activity.get(quiet.task.task_id)

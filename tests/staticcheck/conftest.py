@@ -1,0 +1,25 @@
+"""Shared fixtures for the neonlint test suite."""
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+#: The boundary fixtures mimic the real package layout so the default
+#: config's module scoping applies unchanged.
+BOUNDARY_PKG = FIXTURES / "boundary_pkg" / "repro" / "core"
+
+
+@pytest.fixture
+def fixtures():
+    return FIXTURES
+
+
+@pytest.fixture
+def boundary_pkg():
+    return BOUNDARY_PKG
+
+
+def rule_locations(violations):
+    """Compress violations to comparable (rule_id, line) pairs."""
+    return [(violation.rule_id, violation.line) for violation in violations]

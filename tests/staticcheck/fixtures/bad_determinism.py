@@ -1,0 +1,25 @@
+"""Seeded determinism violations (neonlint test fixture; never imported)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def wall_clock_stamp():
+    return time.time()
+
+
+def fresh_rng():
+    return np.random.default_rng()
+
+
+def global_draw():
+    np.random.seed(7)
+    return np.random.random(), random.random()
+
+
+def pick_first(channels):
+    ready = {channel for channel in channels}
+    for channel in ready:
+        return channel

@@ -1,0 +1,12 @@
+"""Seeded generator-discipline violations (neonlint fixture; never imported)."""
+
+
+class LeakyScheduler:
+    def _drain_all(self):
+        yield 1.0
+
+    def _episode(self):
+        self._drain_all()
+        self.neon.drain()
+        yield self.neon.drain()
+        self.neon.engage_all()

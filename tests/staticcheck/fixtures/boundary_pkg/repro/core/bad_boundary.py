@@ -1,0 +1,15 @@
+"""Seeded boundary violations (neonlint test fixture; never imported)."""
+
+from repro.gpu.request import RequestKind
+import repro.osmodel.kernel
+
+
+def ground_truth_peek(channel, kernel):
+    backlog = len(channel.queue)
+    counter = channel.refcounter
+    engine = kernel.device.main_engine
+    return backlog, counter, engine, RequestKind, repro.osmodel.kernel
+
+
+def audited_peek(channel):
+    return channel.refcounter  # neonlint: allow[NEON102] audited fixture exception

@@ -1,0 +1,17 @@
+"""Boundary-clean scheduler module (neonlint test fixture; never imported)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.neon.stats import ChannelKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.channel import Channel
+    from repro.osmodel.task import Task
+
+
+def decide(scheduler, channel: "Channel", task: "Task") -> bool:
+    observation = scheduler.neon.observation(channel)
+    quiet = scheduler.neon.task_quiet(task)
+    return quiet and observation.channel_kind is ChannelKind.COMPUTE

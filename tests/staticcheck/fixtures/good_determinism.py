@@ -1,0 +1,20 @@
+"""Determinism-clean module (neonlint test fixture; never imported)."""
+
+import numpy as np
+
+
+def seeded_rng(seed):
+    # Explicitly seeded generators are fine outside repro.sim.rng.
+    return np.random.default_rng(seed)
+
+
+def pick_first(channels):
+    ready = {channel for channel in channels}
+    for channel in sorted(ready):
+        return channel
+
+
+def membership_only(channels, wanted):
+    # Building and testing sets is fine; only *iteration* is ordered-unsafe.
+    ready = {channel for channel in channels}
+    return wanted in ready and len(ready) > 0

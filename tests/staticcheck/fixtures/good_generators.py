@@ -1,0 +1,13 @@
+"""Generator-discipline-clean module (neonlint fixture; never imported)."""
+
+
+class CarefulScheduler:
+    def _drain_all(self):
+        yield 1.0
+
+    def _episode(self):
+        yield from self._drain_all()
+        result = yield from self.neon.drain()
+        flips = self.neon.engage_all()
+        yield self.neon.flip_cost(flips)
+        return result

@@ -1,0 +1,60 @@
+"""Determinism rules (NEON201-NEON204): positives and negatives."""
+
+from repro.staticcheck import Config, analyze_paths
+
+from tests.staticcheck.conftest import rule_locations
+
+
+def test_bad_determinism_fixture_flags_each_seeded_violation(fixtures):
+    violations = analyze_paths([fixtures / "bad_determinism.py"], Config())
+    assert rule_locations(violations) == [
+        ("NEON202", 3),  # import random
+        ("NEON201", 10),  # time.time()
+        ("NEON203", 14),  # unseeded np.random.default_rng()
+        ("NEON203", 18),  # np.random.seed(7)
+        ("NEON203", 19),  # np.random.random()
+        ("NEON204", 24),  # for channel in ready (a set)
+    ]
+
+
+def test_clean_determinism_module_passes(fixtures):
+    assert analyze_paths([fixtures / "good_determinism.py"], Config()) == []
+
+
+def test_rng_registry_module_is_exempt(tmp_path):
+    # The same unseeded/global RNG calls are legal inside the module the
+    # config designates as the seeded-stream registry.
+    source = (
+        "import numpy as np\n"
+        "def make():\n"
+        "    return np.random.default_rng()\n"
+    )
+    module = tmp_path / "rng.py"
+    module.write_text(source)
+    flagged = analyze_paths([module], Config())
+    assert [v.rule_id for v in flagged] == ["NEON203"]
+    exempt = analyze_paths([module], Config(rng_modules=("rng",)))
+    assert exempt == []
+
+
+def test_wall_clock_flagged_even_in_rng_module(tmp_path):
+    # The rng exemption covers randomness, not clocks.
+    module = tmp_path / "rng.py"
+    module.write_text("import time\n\ndef stamp():\n    return time.time()\n")
+    violations = analyze_paths([module], Config(rng_modules=("rng",)))
+    assert [v.rule_id for v in violations] == ["NEON201"]
+
+
+def test_numpy_alias_tracking(tmp_path):
+    module = tmp_path / "aliases.py"
+    module.write_text(
+        "from numpy.random import default_rng\n"
+        "import numpy.random as npr\n"
+        "def make():\n"
+        "    return default_rng(), npr.default_rng()\n"
+    )
+    violations = analyze_paths([module], Config())
+    assert [(v.rule_id, v.line) for v in violations] == [
+        ("NEON203", 4),
+        ("NEON203", 4),
+    ]

@@ -1,0 +1,60 @@
+"""Generator-discipline rules (NEON301-NEON303): positives and negatives."""
+
+from repro.staticcheck import Config, analyze_paths
+
+from tests.staticcheck.conftest import rule_locations
+
+
+def test_bad_generators_fixture_flags_each_seeded_violation(fixtures):
+    violations = analyze_paths([fixtures / "bad_generators.py"], Config())
+    assert rule_locations(violations) == [
+        ("NEON301", 9),  # self._drain_all() discarded (local generator)
+        ("NEON301", 10),  # self.neon.drain() discarded (known generator)
+        ("NEON302", 11),  # yield self.neon.drain()
+        ("NEON303", 12),  # self.neon.engage_all() flip count discarded
+    ]
+
+
+def test_clean_generator_module_passes(fixtures):
+    assert analyze_paths([fixtures / "good_generators.py"], Config()) == []
+
+
+def test_local_generator_detection_ignores_nested_scopes(tmp_path):
+    # make() is NOT a generator: the yield belongs to the nested function.
+    module = tmp_path / "nested.py"
+    module.write_text(
+        "def make():\n"
+        "    def inner():\n"
+        "        yield 1\n"
+        "    return inner\n"
+        "\n"
+        "def run():\n"
+        "    make()\n"
+        "    inner()\n"
+    )
+    violations = analyze_paths([module], Config())
+    # make() is no generator; inner() is one, and its bare call is flagged.
+    assert rule_locations(violations) == [("NEON301", 8)]
+
+
+def test_generator_passed_as_argument_is_not_flagged(tmp_path):
+    # Spawning a process from a generator hands the object over; that is
+    # the legitimate way to *not* yield from it.
+    module = tmp_path / "spawned.py"
+    module.write_text(
+        "def loop():\n"
+        "    yield 1\n"
+        "\n"
+        "def setup(sim):\n"
+        "    sim.spawn(loop(), name='scheduler')\n"
+    )
+    assert analyze_paths([module], Config()) == []
+
+
+def test_configured_generator_methods_extend_detection(tmp_path):
+    module = tmp_path / "custom.py"
+    module.write_text("def run(neon):\n    neon.settle()\n")
+    assert analyze_paths([module], Config()) == []
+    config = Config(generator_methods=("settle",))
+    violations = analyze_paths([module], config)
+    assert rule_locations(violations) == [("NEON301", 2)]
