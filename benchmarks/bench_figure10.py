@@ -6,11 +6,14 @@ from repro.metrics.tables import format_table
 from benchmarks.conftest import run_once
 
 
-def test_benchmark_figure10(benchmark):
+def test_benchmark_figure10(benchmark, workers):
     rows = run_once(
         benchmark,
         lambda: figure10.run(
-            duration_us=300_000.0, warmup_us=60_000.0, ratios=(0.0, 0.4, 0.8)
+            duration_us=300_000.0,
+            warmup_us=60_000.0,
+            ratios=(0.0, 0.4, 0.8),
+            workers=workers,
         ),
     )
     print(

@@ -12,11 +12,12 @@ APPS = [
 ]
 
 
-def test_benchmark_figure4(benchmark):
+def test_benchmark_figure4(benchmark, workers):
     rows = run_once(
         benchmark,
         lambda: figure4.run(
-            duration_us=200_000.0, warmup_us=40_000.0, apps=APPS
+            duration_us=200_000.0, warmup_us=40_000.0, apps=APPS,
+            workers=workers,
         ),
     )
     print(

@@ -6,10 +6,12 @@ from repro.metrics.tables import format_table
 from benchmarks.conftest import run_once
 
 
-def test_benchmark_figure5(benchmark):
+def test_benchmark_figure5(benchmark, workers):
     rows = run_once(
         benchmark,
-        lambda: figure5.run(duration_us=150_000.0, warmup_us=25_000.0),
+        lambda: figure5.run(
+            duration_us=150_000.0, warmup_us=25_000.0, workers=workers
+        ),
     )
     print(
         "\n"

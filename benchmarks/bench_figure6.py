@@ -6,13 +6,14 @@ from repro.metrics.tables import format_table
 from benchmarks.conftest import run_once
 
 
-def test_benchmark_figure6(benchmark):
+def test_benchmark_figure6(benchmark, workers):
     outcomes = run_once(
         benchmark,
         lambda: figure6.run(
             duration_us=300_000.0,
             warmup_us=60_000.0,
             sizes=(19.0, 303.0, 1700.0),
+            workers=workers,
         ),
     )
     print(

@@ -6,10 +6,12 @@ from repro.metrics.tables import format_table
 from benchmarks.conftest import run_once
 
 
-def test_benchmark_figure8(benchmark):
+def test_benchmark_figure8(benchmark, workers):
     rows = run_once(
         benchmark,
-        lambda: figure8.run(duration_us=400_000.0, warmup_us=80_000.0),
+        lambda: figure8.run(
+            duration_us=400_000.0, warmup_us=80_000.0, workers=workers
+        ),
     )
     names = list(rows[0].slowdowns)
     print(

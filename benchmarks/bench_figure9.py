@@ -6,11 +6,14 @@ from repro.metrics.tables import format_table
 from benchmarks.conftest import run_once
 
 
-def test_benchmark_figure9(benchmark):
+def test_benchmark_figure9(benchmark, workers):
     cells = run_once(
         benchmark,
         lambda: figure9.run(
-            duration_us=300_000.0, warmup_us=60_000.0, ratios=(0.0, 0.4, 0.8)
+            duration_us=300_000.0,
+            warmup_us=60_000.0,
+            ratios=(0.0, 0.4, 0.8),
+            workers=workers,
         ),
     )
     print(

@@ -5,11 +5,36 @@ structurally complete) scale and prints the paper-style rows.  Run with::
 
     pytest benchmarks/ --benchmark-only -s
 
+Pass ``--workers N`` to exercise the parallel cell farm from the bench
+harness (drivers built on ``run_cells`` fan their cells over a process
+pool; results are identical to serial, only the wall time changes)::
+
+    pytest benchmarks/ --benchmark-only -s --workers 4
+
 Every benchmark executes its experiment exactly once (simulations are
 deterministic; repetition would only measure the host machine).
 """
 
 from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=1,
+        help="process-pool size for cell-farm experiment benchmarks "
+        "(default: 1 = serial)",
+    )
+
+
+@pytest.fixture
+def workers(request):
+    """Worker count for drivers built on the parallel cell farm."""
+    return request.config.getoption("--workers")
 
 
 def run_once(benchmark, fn):

@@ -3,13 +3,29 @@
 Runs any paper experiment and prints its table.  ``repro list`` shows the
 catalog; ``repro all`` regenerates everything (slow).  ``repro staticcheck``
 runs the neonlint static analyzer (see docs/STATIC_ANALYSIS.md).
+
+Cell-farm experiments (the figure drivers) accept ``--workers N`` to fan
+independent simulation cells out over a process pool, and share a
+content-keyed result cache so solo baselines are computed once per
+invocation (``repro all`` reuses them across figures).  ``--no-cache``
+disables sharing; ``--cache-dir DIR`` persists results across
+invocations.  Tables on stdout are byte-identical regardless of worker
+count or caching; the per-cell wall-time summary goes to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
+from pathlib import Path
 from typing import Callable, Optional, Sequence
+
+from repro.experiments.parallel import (
+    CellTiming,
+    ResultCache,
+    format_cell_timings,
+)
 
 from repro.experiments import (
     ablations,
@@ -83,7 +99,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated duration per run in milliseconds (default: per-experiment)",
     )
     parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for experiments built on the cell farm "
+        "(default: 1 = serial; output is identical either way)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the shared result cache (every cell recomputes)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persist cell results as JSON under this directory and reuse "
+        "them across invocations",
+    )
     return parser
+
+
+def _call_experiment(
+    runner: Callable[..., str],
+    args: argparse.Namespace,
+    cache: Optional[ResultCache],
+    timings: list[CellTiming],
+) -> None:
+    """Invoke a driver, passing only the keywords its signature accepts.
+
+    Non-cell experiments (table1, protection, …) simply never see the
+    farm parameters.
+    """
+    kwargs: dict = {"seed": args.seed}
+    if args.duration_ms is not None:
+        kwargs["duration_us"] = args.duration_ms * 1000.0
+    accepted = inspect.signature(runner).parameters
+    if "workers" in accepted:
+        kwargs["workers"] = args.workers
+        kwargs["cache"] = cache
+        kwargs["timings"] = timings
+    runner(**kwargs)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -107,13 +164,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    # One cache for the whole invocation: ``repro all`` shares the solo
+    # direct-access baselines across figure4/5, figure6/7, and figure9/10.
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
     for name in names:
         runner, _ = EXPERIMENTS[name]
         print(f"== {name} ==")
-        kwargs = {"seed": args.seed}
-        if args.duration_ms is not None:
-            kwargs["duration_us"] = args.duration_ms * 1000.0
-        runner(**kwargs)
+        timings: list[CellTiming] = []
+        _call_experiment(runner, args, cache, timings)
+        if timings:
+            print(f"[{name}] {format_cell_timings(timings)}", file=sys.stderr)
         print()
     return 0
 

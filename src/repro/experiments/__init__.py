@@ -7,6 +7,17 @@ to values long enough for steady state but can be shrunk for quick runs
 (the benchmarks do exactly that).
 """
 
+from repro.experiments.cells import (
+    CellSpec,
+    WorkloadSpec,
+    register_workload_kind,
+)
+from repro.experiments.parallel import (
+    CellTiming,
+    ResultCache,
+    format_cell_timings,
+    run_cells,
+)
 from repro.experiments.runner import (
     SeedSweepStats,
     SimulationEnv,
@@ -19,11 +30,18 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "CellSpec",
+    "CellTiming",
+    "ResultCache",
     "SeedSweepStats",
     "SimulationEnv",
     "WorkloadResult",
+    "WorkloadSpec",
     "build_env",
+    "format_cell_timings",
     "measure",
+    "register_workload_kind",
+    "run_cells",
     "run_workloads",
     "solo_baseline",
     "sweep_seeds",

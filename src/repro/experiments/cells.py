@@ -1,0 +1,221 @@
+"""Picklable experiment cells.
+
+Every paper experiment decomposes into independent, deterministic
+*cells*: one fully wired simulation (scheduler + workload mix + horizon +
+seed + parameters) producing a ``dict[str, WorkloadResult]``.  A
+:class:`CellSpec` is the declarative, picklable description of one such
+cell, built from :class:`WorkloadSpec` entries instead of closures so it
+can cross a process boundary and serve as a content-addressed cache key.
+
+Workload specs name a *kind* from a small registry (``"app"`` →
+:func:`repro.workloads.apps.make_app`, ``"throttle"`` →
+:class:`repro.workloads.throttle.Throttle`; extendable via
+:func:`register_workload_kind`) plus positional/keyword arguments.  An
+escape hatch, :meth:`WorkloadSpec.from_callable`, wraps an arbitrary
+zero-argument factory; such specs still run, but are neither cached nor
+shipped to pool workers (closures do not content-address), so cells using
+them always execute serially in the parent process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.gpu.params import GpuParams
+from repro.osmodel.costs import CostParams
+from repro.workloads.apps import make_app
+from repro.workloads.base import Workload
+from repro.workloads.throttle import Throttle
+
+WorkloadFactory = Callable[[], Workload]
+
+#: Registry of named workload factory kinds; values are callables invoked
+#: as ``factory(*args, **kwargs)`` and returning a fresh :class:`Workload`.
+WORKLOAD_KINDS: dict[str, Callable[..., Workload]] = {}
+
+#: Reserved kind naming specs that carry a raw callable (non-picklable).
+CALLABLE_KIND = "__callable__"
+
+
+def register_workload_kind(name: str, factory: Callable[..., Workload]) -> None:
+    """Register (or replace) a named workload factory kind."""
+    if name == CALLABLE_KIND:
+        raise ValueError(f"kind name {CALLABLE_KIND!r} is reserved")
+    WORKLOAD_KINDS[name] = factory
+
+
+register_workload_kind("app", make_app)
+register_workload_kind("throttle", Throttle)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of one workload instance.
+
+    ``kwargs`` is stored as a sorted tuple of ``(name, value)`` pairs so
+    the spec stays hashable and its content key is order-insensitive.
+    """
+
+    kind: str
+    args: tuple = ()
+    kwargs: tuple = ()
+    #: Only set for :meth:`from_callable` specs; excluded from content keys.
+    factory: Optional[WorkloadFactory] = None
+
+    @classmethod
+    def of(cls, kind: str, *args: Any, **kwargs: Any) -> "WorkloadSpec":
+        return cls(kind, args=tuple(args), kwargs=tuple(sorted(kwargs.items())))
+
+    @classmethod
+    def app(cls, name: str, instance: Optional[str] = None) -> "WorkloadSpec":
+        """A Table 1 application by profile name."""
+        if instance is None:
+            return cls.of("app", name)
+        return cls.of("app", name, instance=instance)
+
+    @classmethod
+    def throttle(cls, request_size_us: float, **kwargs: Any) -> "WorkloadSpec":
+        """The Throttle microbenchmark at a given request size."""
+        return cls.of("throttle", request_size_us, **kwargs)
+
+    @classmethod
+    def from_callable(cls, factory: WorkloadFactory) -> "WorkloadSpec":
+        """Wrap an arbitrary factory (serial-only, never cached)."""
+        return cls(CALLABLE_KIND, factory=factory)
+
+    @property
+    def cacheable(self) -> bool:
+        return self.kind != CALLABLE_KIND
+
+    def build(self) -> Workload:
+        """Instantiate a fresh workload from this spec."""
+        if self.kind == CALLABLE_KIND:
+            if self.factory is None:
+                raise ValueError("callable spec lost its factory")
+            return self.factory()
+        try:
+            factory = WORKLOAD_KINDS[self.kind]
+        except KeyError:
+            known = ", ".join(sorted(WORKLOAD_KINDS))
+            raise KeyError(
+                f"unknown workload kind {self.kind!r}; known: {known}"
+            ) from None
+        return factory(*self.args, **dict(self.kwargs))
+
+
+def _jsonable(value: Any) -> Any:
+    """Normalize a spec field into deterministic JSON-encodable form."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            "fields": {
+                field.name: _jsonable(getattr(value, field.name))
+                for field in fields(value)
+            },
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(value[key]) for key in sorted(value)}
+    if hasattr(value, "name") and not isinstance(value, (str, int, float, bool)):
+        # Enums (RequestKind) and similar named constants.
+        return f"{type(value).__name__}.{value.name}"
+    return value
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One experiment cell: a complete simulation, declaratively.
+
+    Running a cell is a pure function of its fields (simulations are
+    deterministic per seed), which is what makes both the process-pool
+    fan-out and the content-keyed result cache sound.
+    """
+
+    scheduler: str
+    workloads: tuple[WorkloadSpec, ...]
+    duration_us: float
+    warmup_us: float
+    seed: int = 0
+    costs: Optional[CostParams] = None
+    gpu_params: Optional[GpuParams] = None
+
+    @classmethod
+    def solo(
+        cls,
+        workload: WorkloadSpec,
+        duration_us: float,
+        warmup_us: float,
+        seed: int = 0,
+        costs: Optional[CostParams] = None,
+        gpu_params: Optional[GpuParams] = None,
+    ) -> "CellSpec":
+        """A standalone direct-access baseline run of one workload."""
+        return cls(
+            scheduler="direct",
+            workloads=(workload,),
+            duration_us=duration_us,
+            warmup_us=warmup_us,
+            seed=seed,
+            costs=costs,
+            gpu_params=gpu_params,
+        )
+
+    @property
+    def cacheable(self) -> bool:
+        return all(workload.cacheable for workload in self.workloads)
+
+    def content_key(self) -> str:
+        """Stable content hash identifying this cell's full configuration."""
+        if not self.cacheable:
+            raise ValueError("cells with callable workload specs have no key")
+        payload = {
+            "scheduler": self.scheduler,
+            "workloads": [
+                {"kind": w.kind, "args": _jsonable(w.args),
+                 "kwargs": _jsonable(dict(w.kwargs))}
+                for w in self.workloads
+            ],
+            "duration_us": self.duration_us,
+            "warmup_us": self.warmup_us,
+            "seed": self.seed,
+            "costs": _jsonable(self.costs),
+            "gpu_params": _jsonable(self.gpu_params),
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        )
+        return digest.hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable tag for wall-time reporting."""
+        names = "+".join(
+            w.kind if w.kind == CALLABLE_KIND else
+            "-".join(str(a) for a in (w.kind,) + w.args)
+            for w in self.workloads
+        )
+        return f"{self.scheduler}:{names}"
+
+    def run(self):
+        """Execute this cell and return its per-workload results."""
+        from repro.experiments.runner import measure
+
+        return measure(
+            self.scheduler,
+            [workload.build for workload in self.workloads],
+            duration_us=self.duration_us,
+            warmup_us=self.warmup_us,
+            seed=self.seed,
+            costs=self.costs,
+            gpu_params=self.gpu_params,
+        )
+
+
+def specs_from_factories(
+    factories: Sequence[WorkloadFactory],
+) -> tuple[WorkloadSpec, ...]:
+    """Wrap raw factories as serial-only specs (compatibility shim)."""
+    return tuple(WorkloadSpec.from_callable(factory) for factory in factories)

@@ -9,9 +9,10 @@ Throttle sleep ratio the paper measured losses vs direct access of 36%
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments import figure9
+from repro.experiments.parallel import CellTiming, ResultCache
 from repro.metrics.tables import format_table
 
 
@@ -29,8 +30,20 @@ def run(
     seed: int = 0,
     ratios: Sequence[float] = figure9.SLEEP_RATIOS,
     schedulers: Sequence[str] = figure9.SCHEDULERS,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    timings: Optional[list[CellTiming]] = None,
 ) -> list[Figure10Row]:
-    cells = figure9.run(duration_us, warmup_us, seed, ratios, schedulers)
+    cells = figure9.run(
+        duration_us,
+        warmup_us,
+        seed,
+        ratios,
+        schedulers,
+        workers=workers,
+        cache=cache,
+        timings=timings,
+    )
     direct = {
         cell.sleep_ratio: cell.efficiency
         for cell in cells
@@ -46,8 +59,20 @@ def run(
     return rows
 
 
-def main(duration_us: float = 500_000.0, seed: int = 0) -> str:
-    rows = run(duration_us=duration_us, seed=seed)
+def main(
+    duration_us: float = 500_000.0,
+    seed: int = 0,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    timings: Optional[list[CellTiming]] = None,
+) -> str:
+    rows = run(
+        duration_us=duration_us,
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        timings=timings,
+    )
     table = format_table(
         ["scheduler", "sleep ratio", "efficiency", "loss vs direct"],
         [

@@ -11,9 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.experiments.runner import measure, solo_baseline
+from repro.experiments.cells import CellSpec, WorkloadSpec
+from repro.experiments.parallel import CellTiming, ResultCache, run_cells
 from repro.metrics.tables import format_table
-from repro.workloads.apps import make_app
 from repro.workloads.profiles import APP_PROFILES
 
 SCHEDULERS = ("timeslice", "disengaged-timeslice", "dfq")
@@ -26,24 +26,44 @@ class Figure4Row:
     slowdowns: dict[str, float]  # scheduler name -> slowdown vs direct
 
 
+def cell_specs(
+    duration_us: float,
+    warmup_us: float,
+    seed: int,
+    names: Sequence[str],
+    schedulers: Sequence[str],
+) -> list[CellSpec]:
+    """Per app: the direct-access baseline, then one cell per scheduler."""
+    specs = []
+    for name in names:
+        workload = WorkloadSpec.app(name)
+        specs.append(CellSpec.solo(workload, duration_us, warmup_us, seed))
+        specs.extend(
+            CellSpec(scheduler, (workload,), duration_us, warmup_us, seed)
+            for scheduler in schedulers
+        )
+    return specs
+
+
 def run(
     duration_us: float = 400_000.0,
     warmup_us: float = 60_000.0,
     seed: int = 0,
     apps: Optional[Sequence[str]] = None,
     schedulers: Sequence[str] = SCHEDULERS,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    timings: Optional[list[CellTiming]] = None,
 ) -> list[Figure4Row]:
     names = list(apps) if apps is not None else sorted(APP_PROFILES)
+    specs = cell_specs(duration_us, warmup_us, seed, names, schedulers)
+    cells = iter(run_cells(specs, workers=workers, cache=cache, timings=timings))
     rows = []
     for name in names:
-        factory = lambda name=name: make_app(name)
-        base = solo_baseline(factory, duration_us, warmup_us, seed)
+        base = next(iter(next(cells).values()))
         slowdowns = {}
         for scheduler in schedulers:
-            results = measure(
-                scheduler, [factory], duration_us, warmup_us, seed
-            )
-            result = next(iter(results.values()))
+            result = next(iter(next(cells).values()))
             slowdowns[scheduler] = result.rounds.mean_us / base.rounds.mean_us
         rows.append(
             Figure4Row(
@@ -55,8 +75,20 @@ def run(
     return rows
 
 
-def main(duration_us: float = 400_000.0, seed: int = 0) -> str:
-    rows = run(duration_us=duration_us, seed=seed)
+def main(
+    duration_us: float = 400_000.0,
+    seed: int = 0,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    timings: Optional[list[CellTiming]] = None,
+) -> str:
+    rows = run(
+        duration_us=duration_us,
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        timings=timings,
+    )
     table = format_table(
         ["app", "direct round (us)"] + list(SCHEDULERS),
         [

@@ -9,11 +9,11 @@ flat (paper: DTS <=2%, DFQ <=5%).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.experiments.runner import measure, solo_baseline
+from repro.experiments.cells import CellSpec, WorkloadSpec
+from repro.experiments.parallel import CellTiming, ResultCache, run_cells
 from repro.metrics.tables import format_table
-from repro.workloads.throttle import Throttle
 
 THROTTLE_SIZES_US = (19.0, 57.0, 110.0, 303.0, 907.0, 1700.0)
 SCHEDULERS = ("timeslice", "disengaged-timeslice", "dfq")
@@ -26,28 +26,62 @@ class Figure5Row:
     slowdowns: dict[str, float]
 
 
+def cell_specs(
+    duration_us: float,
+    warmup_us: float,
+    seed: int,
+    sizes: Sequence[float],
+    schedulers: Sequence[str],
+) -> list[CellSpec]:
+    """Per size: the direct-access baseline, then one cell per scheduler."""
+    specs = []
+    for size in sizes:
+        workload = WorkloadSpec.throttle(size)
+        specs.append(CellSpec.solo(workload, duration_us, warmup_us, seed))
+        specs.extend(
+            CellSpec(scheduler, (workload,), duration_us, warmup_us, seed)
+            for scheduler in schedulers
+        )
+    return specs
+
+
 def run(
     duration_us: float = 300_000.0,
     warmup_us: float = 50_000.0,
     seed: int = 0,
     sizes: Sequence[float] = THROTTLE_SIZES_US,
     schedulers: Sequence[str] = SCHEDULERS,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    timings: Optional[list[CellTiming]] = None,
 ) -> list[Figure5Row]:
+    specs = cell_specs(duration_us, warmup_us, seed, sizes, schedulers)
+    cells = iter(run_cells(specs, workers=workers, cache=cache, timings=timings))
     rows = []
     for size in sizes:
-        factory = lambda size=size: Throttle(size)
-        base = solo_baseline(factory, duration_us, warmup_us, seed)
+        base = next(iter(next(cells).values()))
         slowdowns = {}
         for scheduler in schedulers:
-            results = measure(scheduler, [factory], duration_us, warmup_us, seed)
-            result = next(iter(results.values()))
+            result = next(iter(next(cells).values()))
             slowdowns[scheduler] = result.rounds.mean_us / base.rounds.mean_us
         rows.append(Figure5Row(size, base.rounds.mean_us, slowdowns))
     return rows
 
 
-def main(duration_us: float = 300_000.0, seed: int = 0) -> str:
-    rows = run(duration_us=duration_us, seed=seed)
+def main(
+    duration_us: float = 300_000.0,
+    seed: int = 0,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    timings: Optional[list[CellTiming]] = None,
+) -> str:
+    rows = run(
+        duration_us=duration_us,
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        timings=timings,
+    )
     table = format_table(
         ["throttle size (us)", "direct round (us)"] + list(SCHEDULERS),
         [

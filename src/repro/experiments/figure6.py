@@ -17,11 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
-from repro.experiments.runner import measure, solo_baseline
+from repro.experiments.cells import CellSpec, WorkloadSpec
+from repro.experiments.parallel import CellTiming, ResultCache, run_cells
 from repro.metrics.tables import format_table
-from repro.workloads.apps import make_app
 from repro.workloads.base import Workload
-from repro.workloads.throttle import Throttle
 
 PAIR_APPS = ("DCT", "FFT", "glxgears", "oclParticles")
 THROTTLE_SIZES_US = (19.0, 110.0, 303.0, 1700.0)
@@ -57,6 +56,53 @@ class PairOutcome:
         )
 
 
+def cell_specs(
+    duration_us: float = 400_000.0,
+    warmup_us: float = 60_000.0,
+    seed: int = 0,
+    apps: Sequence[str] = PAIR_APPS,
+    sizes: Sequence[float] = THROTTLE_SIZES_US,
+    schedulers: Sequence[str] = SCHEDULERS,
+    app_factories: Optional[dict[str, Callable[[], Workload]]] = None,
+) -> list[CellSpec]:
+    """Declare every simulation Figure 6 needs, baselines first.
+
+    Order: per-app solo baselines, per-size Throttle solo baselines, then
+    the app x size x scheduler grid — the same order the serial loop used,
+    so results assemble positionally.
+    """
+    app_specs = {
+        name: (
+            WorkloadSpec.from_callable(app_factories[name])
+            if app_factories is not None
+            else WorkloadSpec.app(name)
+        )
+        for name in apps
+    }
+    throttle_specs = {size: WorkloadSpec.throttle(size) for size in sizes}
+    specs = [
+        CellSpec.solo(app_specs[name], duration_us, warmup_us, seed)
+        for name in apps
+    ]
+    specs.extend(
+        CellSpec.solo(throttle_specs[size], duration_us, warmup_us, seed)
+        for size in sizes
+    )
+    for app in apps:
+        for size in sizes:
+            for scheduler in schedulers:
+                specs.append(
+                    CellSpec(
+                        scheduler=scheduler,
+                        workloads=(app_specs[app], throttle_specs[size]),
+                        duration_us=duration_us,
+                        warmup_us=warmup_us,
+                        seed=seed,
+                    )
+                )
+    return specs
+
+
 def run(
     duration_us: float = 400_000.0,
     warmup_us: float = 60_000.0,
@@ -65,32 +111,28 @@ def run(
     sizes: Sequence[float] = THROTTLE_SIZES_US,
     schedulers: Sequence[str] = SCHEDULERS,
     app_factories: Optional[dict[str, Callable[[], Workload]]] = None,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    timings: Optional[list[CellTiming]] = None,
 ) -> list[PairOutcome]:
-    factories = app_factories or {
-        name: (lambda name=name: make_app(name)) for name in apps
-    }
+    specs = cell_specs(
+        duration_us, warmup_us, seed, apps, sizes, schedulers, app_factories
+    )
+    cells = run_cells(specs, workers=workers, cache=cache, timings=timings)
     app_bases = {
-        name: solo_baseline(factories[name], duration_us, warmup_us, seed)
-        for name in apps
+        name: next(iter(cells[index].values()))
+        for index, name in enumerate(apps)
     }
     throttle_bases = {
-        size: solo_baseline(
-            lambda size=size: Throttle(size), duration_us, warmup_us, seed
-        )
-        for size in sizes
+        size: next(iter(cells[len(apps) + index].values()))
+        for index, size in enumerate(sizes)
     }
     outcomes = []
+    pair_cells = iter(cells[len(apps) + len(sizes):])
     for app in apps:
         for size in sizes:
             for scheduler in schedulers:
-                throttle_factory = lambda size=size: Throttle(size)
-                results = measure(
-                    scheduler,
-                    [factories[app], throttle_factory],
-                    duration_us,
-                    warmup_us,
-                    seed,
-                )
+                results = next(pair_cells)
                 app_result = results[app]
                 throttle_result = results[f"throttle-{size:g}us"]
                 outcomes.append(
@@ -107,8 +149,20 @@ def run(
     return outcomes
 
 
-def main(duration_us: float = 400_000.0, seed: int = 0) -> str:
-    outcomes = run(duration_us=duration_us, seed=seed)
+def main(
+    duration_us: float = 400_000.0,
+    seed: int = 0,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    timings: Optional[list[CellTiming]] = None,
+) -> str:
+    outcomes = run(
+        duration_us=duration_us,
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        timings=timings,
+    )
     rows = [
         [
             outcome.app,

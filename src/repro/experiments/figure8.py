@@ -9,13 +9,12 @@ expected 4–5× slowdown; efficiency losses vs direct access were 13%
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.experiments.runner import measure, solo_baseline
+from repro.experiments.cells import CellSpec, WorkloadSpec
+from repro.experiments.parallel import CellTiming, ResultCache, run_cells
 from repro.metrics.efficiency import concurrency_efficiency
 from repro.metrics.tables import format_table
-from repro.workloads.apps import make_app
-from repro.workloads.throttle import Throttle
 
 FOUR_WAY_APPS = ("BinarySearch", "DCT", "FFT")
 THROTTLE_SIZE_US = 1700.0
@@ -33,38 +32,73 @@ class Figure8Row:
         return sum(self.slowdowns.values()) / len(self.slowdowns)
 
 
+def cell_specs(
+    duration_us: float,
+    warmup_us: float,
+    seed: int,
+    schedulers: Sequence[str],
+) -> tuple[list[str], list[CellSpec]]:
+    """Solo baselines for all four workloads, then one cell per scheduler."""
+    throttle_name = f"throttle-{THROTTLE_SIZE_US:g}us"
+    names = list(FOUR_WAY_APPS) + [throttle_name]
+    workloads = tuple(
+        WorkloadSpec.app(name) for name in FOUR_WAY_APPS
+    ) + (WorkloadSpec.throttle(THROTTLE_SIZE_US),)
+    specs = [
+        CellSpec.solo(workload, duration_us, warmup_us, seed)
+        for workload in workloads
+    ]
+    specs.extend(
+        CellSpec(scheduler, workloads, duration_us, warmup_us, seed)
+        for scheduler in schedulers
+    )
+    return names, specs
+
+
 def run(
     duration_us: float = 600_000.0,
     warmup_us: float = 100_000.0,
     seed: int = 0,
     schedulers: Sequence[str] = SCHEDULERS,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    timings: Optional[list[CellTiming]] = None,
 ) -> list[Figure8Row]:
-    factories = {name: (lambda name=name: make_app(name)) for name in FOUR_WAY_APPS}
-    throttle_name = f"throttle-{THROTTLE_SIZE_US:g}us"
-    factories[throttle_name] = lambda: Throttle(THROTTLE_SIZE_US)
+    names, specs = cell_specs(duration_us, warmup_us, seed, schedulers)
+    cells = run_cells(specs, workers=workers, cache=cache, timings=timings)
     baselines = {
-        name: solo_baseline(factory, duration_us, warmup_us, seed)
-        for name, factory in factories.items()
+        name: next(iter(cells[index].values()))
+        for index, name in enumerate(names)
     }
     rows = []
-    for scheduler in schedulers:
-        results = measure(
-            scheduler, list(factories.values()), duration_us, warmup_us, seed
-        )
+    for offset, scheduler in enumerate(schedulers):
+        results = cells[len(names) + offset]
         slowdowns = {
             name: results[name].rounds.mean_us / baselines[name].rounds.mean_us
-            for name in factories
+            for name in names
         }
         efficiency = concurrency_efficiency(
             (baselines[name].rounds.mean_us, results[name].rounds.mean_us)
-            for name in factories
+            for name in names
         )
         rows.append(Figure8Row(scheduler, slowdowns, efficiency))
     return rows
 
 
-def main(duration_us: float = 600_000.0, seed: int = 0) -> str:
-    rows = run(duration_us=duration_us, seed=seed)
+def main(
+    duration_us: float = 600_000.0,
+    seed: int = 0,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    timings: Optional[list[CellTiming]] = None,
+) -> str:
+    rows = run(
+        duration_us=duration_us,
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        timings=timings,
+    )
     names = list(rows[0].slowdowns)
     table = format_table(
         ["scheduler"] + [f"{name} slowdown" for name in names] + ["efficiency"],

@@ -11,12 +11,11 @@ idle the device during Throttle's unused slice time, hurting DCT.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.experiments.runner import measure, solo_baseline
+from repro.experiments.cells import CellSpec, WorkloadSpec
+from repro.experiments.parallel import CellTiming, ResultCache, run_cells
 from repro.metrics.tables import format_table
-from repro.workloads.apps import make_app
-from repro.workloads.throttle import Throttle
 
 SLEEP_RATIOS = (0.0, 0.2, 0.4, 0.6, 0.8)
 #: Throttle request size comparable to DCT's mean request (66 µs): with
@@ -47,6 +46,29 @@ class Figure9Cell:
         )
 
 
+def cell_specs(
+    duration_us: float,
+    warmup_us: float,
+    seed: int,
+    ratios: Sequence[float],
+    schedulers: Sequence[str],
+    throttle_size_us: float,
+) -> list[CellSpec]:
+    """The DCT baseline, then per ratio: Throttle baseline + pair grid."""
+    app = WorkloadSpec.app(APP)
+    specs = [CellSpec.solo(app, duration_us, warmup_us, seed)]
+    for ratio in ratios:
+        throttle = WorkloadSpec.throttle(
+            throttle_size_us, sleep_ratio=ratio, name="throttle-ns"
+        )
+        specs.append(CellSpec.solo(throttle, duration_us, warmup_us, seed))
+        specs.extend(
+            CellSpec(scheduler, (app, throttle), duration_us, warmup_us, seed)
+            for scheduler in schedulers
+        )
+    return specs
+
+
 def run(
     duration_us: float = 500_000.0,
     warmup_us: float = 80_000.0,
@@ -54,23 +76,22 @@ def run(
     ratios: Sequence[float] = SLEEP_RATIOS,
     schedulers: Sequence[str] = SCHEDULERS,
     throttle_size_us: float = THROTTLE_SIZE_US,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    timings: Optional[list[CellTiming]] = None,
 ) -> list[Figure9Cell]:
-    app_factory = lambda: make_app(APP)
-    app_base = solo_baseline(app_factory, duration_us, warmup_us, seed)
+    specs = cell_specs(
+        duration_us, warmup_us, seed, ratios, schedulers, throttle_size_us
+    )
+    produced = iter(
+        run_cells(specs, workers=workers, cache=cache, timings=timings)
+    )
+    app_base = next(iter(next(produced).values()))
     cells = []
     for ratio in ratios:
-        throttle_factory = lambda ratio=ratio: Throttle(
-            throttle_size_us, sleep_ratio=ratio, name="throttle-ns"
-        )
-        throttle_base = solo_baseline(throttle_factory, duration_us, warmup_us, seed)
+        throttle_base = next(iter(next(produced).values()))
         for scheduler in schedulers:
-            results = measure(
-                scheduler,
-                [app_factory, throttle_factory],
-                duration_us,
-                warmup_us,
-                seed,
-            )
+            results = next(produced)
             cells.append(
                 Figure9Cell(
                     scheduler=scheduler,
@@ -88,8 +109,20 @@ def run(
     return cells
 
 
-def main(duration_us: float = 500_000.0, seed: int = 0) -> str:
-    cells = run(duration_us=duration_us, seed=seed)
+def main(
+    duration_us: float = 500_000.0,
+    seed: int = 0,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    timings: Optional[list[CellTiming]] = None,
+) -> str:
+    cells = run(
+        duration_us=duration_us,
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        timings=timings,
+    )
     table = format_table(
         ["scheduler", "sleep ratio", "DCT slowdown", "throttle slowdown"],
         [

@@ -1,0 +1,280 @@
+"""Parallel experiment-cell execution with content-keyed result caching.
+
+:func:`run_cells` is the single entry point: it takes a sequence of
+:class:`~repro.experiments.cells.CellSpec` declarations and returns their
+results **in spec order**, so driver output is byte-identical to a serial
+loop regardless of worker count.  Three mechanisms make it fast:
+
+* **dedup** — identical cells (same content key) within one call are
+  computed once and share the result object;
+* **cache** — a :class:`ResultCache` (in-memory per run, optionally
+  persisted as JSON files under a directory) carries results *across*
+  calls, so e.g. the solo direct-access baselines are computed once and
+  shared between figure4/5, figure6/7, and figure9/10;
+* **fan-out** — with ``workers > 1``, unique uncached cells execute in a
+  ``ProcessPoolExecutor``; cells that cannot be pickled (callable-based
+  workload specs) or any pool failure fall back to serial execution in
+  the parent.
+
+Each cell's host wall time is recorded in a :class:`CellTiming`, so the
+speedup (or lack of it) is observable; the CLI prints the summary to
+stderr to keep stdout byte-identical to the serial seed output.
+
+This module is host-side orchestration, not simulation: it deliberately
+reads the wall clock (see ``host_clock_modules`` in neonlint's config) —
+virtual time inside each cell remains fully deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments.cells import CellSpec
+from repro.experiments.runner import WorkloadResult
+from repro.metrics.rounds import RoundStats
+
+CellResults = dict[str, WorkloadResult]
+
+
+# ----------------------------------------------------------------------
+# Result (de)serialization — for the on-disk cache
+# ----------------------------------------------------------------------
+def result_to_jsonable(result: WorkloadResult) -> dict:
+    rounds = result.rounds
+    return {
+        "name": result.name,
+        "rounds": {
+            "count": rounds.count,
+            "mean_us": rounds.mean_us,
+            "median_us": rounds.median_us,
+            "p95_us": rounds.p95_us,
+        },
+        "killed": result.killed,
+        "kill_reason": result.kill_reason,
+        "mean_request_us": result.mean_request_us,
+        "requests_submitted": result.requests_submitted,
+        "ground_truth_usage_us": result.ground_truth_usage_us,
+    }
+
+
+def result_from_jsonable(payload: dict) -> WorkloadResult:
+    rounds = payload["rounds"]
+    return WorkloadResult(
+        name=payload["name"],
+        rounds=RoundStats(
+            count=rounds["count"],
+            mean_us=rounds["mean_us"],
+            median_us=rounds["median_us"],
+            p95_us=rounds["p95_us"],
+        ),
+        killed=payload["killed"],
+        kill_reason=payload["kill_reason"],
+        mean_request_us=payload["mean_request_us"],
+        requests_submitted=payload["requests_submitted"],
+        ground_truth_usage_us=payload["ground_truth_usage_us"],
+    )
+
+
+class ResultCache:
+    """Content-keyed cache of cell results.
+
+    In-memory always; when ``directory`` is given, results are also
+    persisted as one JSON file per content key and reloaded lazily, so
+    repeated CLI invocations (``--cache-dir``) skip finished cells.
+    """
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self._memory: dict[str, CellResults] = {}
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _path(self, key: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[CellResults]:
+        found = self._memory.get(key)
+        if found is not None:
+            self.hits += 1
+            return found
+        path = self._path(key)
+        if path is not None and path.is_file():
+            payload = json.loads(path.read_text())
+            found = {
+                name: result_from_jsonable(entry)
+                for name, entry in payload["results"].items()
+            }
+            self._memory[key] = found
+            self.hits += 1
+            return found
+        self.misses += 1
+        return None
+
+    def put(self, key: str, results: CellResults) -> None:
+        self._memory[key] = results
+        path = self._path(key)
+        if path is not None:
+            payload = {
+                "results": {
+                    name: result_to_jsonable(result)
+                    for name, result in results.items()
+                }
+            }
+            path.write_text(json.dumps(payload))
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Host wall time spent producing one cell's result."""
+
+    index: int
+    label: str
+    wall_s: float
+    source: str  # "run" | "pool" | "cache" | "dup"
+
+
+def format_cell_timings(timings: Sequence[CellTiming]) -> str:
+    """Human-readable per-cell wall-time summary."""
+    if not timings:
+        return "cell farm: no cells executed"
+    executed = [t for t in timings if t.source in ("run", "pool")]
+    reused = len(timings) - len(executed)
+    total = sum(t.wall_s for t in timings)
+    computed = sum(t.wall_s for t in executed)
+    lines = [
+        f"cell farm: {len(timings)} cells "
+        f"({len(executed)} executed, {reused} reused), "
+        f"wall {total:.2f}s (computed {computed:.2f}s)"
+    ]
+    slowest = sorted(executed, key=lambda t: (-t.wall_s, t.index))[:5]
+    for timing in slowest:
+        lines.append(
+            f"  slowest {timing.wall_s:6.2f}s  cell[{timing.index}]  "
+            f"{timing.label} ({timing.source})"
+        )
+    return "\n".join(lines)
+
+
+def _execute_cell(spec: CellSpec) -> CellResults:
+    """Pool worker entry point: run one cell to completion."""
+    return spec.run()
+
+
+def _picklable(spec: CellSpec) -> bool:
+    if not spec.cacheable:  # callable-based specs never cross the boundary
+        return False
+    try:
+        pickle.dumps(spec)
+    except Exception:
+        return False
+    return True
+
+
+def run_cells(
+    specs: Sequence[CellSpec],
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    timings: Optional[list[CellTiming]] = None,
+) -> list[CellResults]:
+    """Execute every cell and return results in spec order.
+
+    ``workers <= 1`` (or any pool/pickling failure) degrades to plain
+    serial execution; output is identical either way.
+    """
+    clock = time.perf_counter
+    results: list[Optional[CellResults]] = [None] * len(specs)
+    keys: list[Optional[str]] = [
+        spec.content_key() if spec.cacheable else None for spec in specs
+    ]
+
+    # Resolve cache hits and intra-call duplicates first.
+    first_owner: dict[str, int] = {}
+    pending: list[int] = []
+    for index, (spec, key) in enumerate(zip(specs, keys)):
+        if key is None:
+            pending.append(index)
+            continue
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                results[index] = cached
+                if timings is not None:
+                    timings.append(
+                        CellTiming(index, spec.label(), 0.0, "cache")
+                    )
+                continue
+        if key in first_owner:
+            continue  # duplicate of an earlier pending cell
+        first_owner[key] = index
+        pending.append(index)
+
+    workers = max(1, min(int(workers), len(pending) or 1))
+    use_pool = workers > 1 and all(_picklable(specs[i]) for i in pending)
+
+    if use_pool and pending:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                started = clock()
+                futures = [
+                    (index, pool.submit(_execute_cell, specs[index]))
+                    for index in pending
+                ]
+                for index, future in futures:
+                    results[index] = future.result()
+                    if timings is not None:
+                        # Wall time per cell is not separable under
+                        # concurrency; charge elapsed-so-far deltas.
+                        elapsed = clock() - started
+                        started = clock()
+                        timings.append(
+                            CellTiming(
+                                index, specs[index].label(), elapsed, "pool"
+                            )
+                        )
+        except Exception:
+            # Broken pool, pickling edge case, interpreter without fork…
+            # recompute everything serially; determinism makes this safe.
+            for index in pending:
+                results[index] = None
+            use_pool = False
+
+    if not use_pool:
+        for index in pending:
+            started = clock()
+            results[index] = specs[index].run()
+            if timings is not None:
+                timings.append(
+                    CellTiming(
+                        index, specs[index].label(), clock() - started, "run"
+                    )
+                )
+
+    # Fill caches and duplicate slots from the computed owners.
+    for index in pending:
+        key = keys[index]
+        if key is not None and cache is not None:
+            cache.put(key, results[index])
+    for index, key in enumerate(keys):
+        if results[index] is None and key is not None:
+            owner = first_owner[key]
+            results[index] = results[owner]
+            if timings is not None:
+                timings.append(CellTiming(index, specs[index].label(), 0.0, "dup"))
+
+    missing = [index for index, result in enumerate(results) if result is None]
+    if missing:  # pragma: no cover - defensive
+        raise RuntimeError(f"cells {missing} produced no result")
+    return results  # type: ignore[return-value]

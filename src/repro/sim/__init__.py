@@ -15,7 +15,7 @@ bit-for-bit given the same seed.
 
 from repro.sim.engine import Simulator, TimerHandle
 from repro.sim.events import AnyOf, Event
-from repro.sim.process import Process, ProcessKilled
+from repro.sim.process import Process, ProcessCrashed, ProcessKilled
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import NullRecorder, TraceRecord, TraceRecorder
 
@@ -24,6 +24,7 @@ __all__ = [
     "Event",
     "NullRecorder",
     "Process",
+    "ProcessCrashed",
     "ProcessKilled",
     "RngRegistry",
     "Simulator",

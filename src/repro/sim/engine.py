@@ -23,18 +23,31 @@ class TimerHandle:
     fired is a harmless no-op.
     """
 
-    __slots__ = ("time", "seq", "_fn", "_args", "_cancelled")
+    __slots__ = ("time", "seq", "_fn", "_args", "_cancelled", "_sim", "_popped")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self._fn = fn
         self._args = args
         self._cancelled = False
+        self._sim = sim
+        self._popped = False
 
     def cancel(self) -> None:
         """Prevent the callback from firing (idempotent)."""
+        if self._cancelled:
+            return
         self._cancelled = True
+        if self._sim is not None and not self._popped:
+            self._sim._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -64,12 +77,18 @@ class Simulator:
         sim.run(until=100.0)
     """
 
+    #: Compaction threshold: never compact below this many cancelled
+    #: entries (tiny heaps are cheap to scan), and only once cancelled
+    #: entries are the majority (amortizes the O(n) rebuild).
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[TimerHandle] = []
         self._seq = 0
         self._running = False
         self._processes: list[Process] = []
+        self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -84,7 +103,7 @@ class Simulator:
         """Run ``fn(*args)`` at absolute virtual time ``time``."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        handle = TimerHandle(time, self._seq, fn, args)
+        handle = TimerHandle(time, self._seq, fn, args, sim=self)
         self._seq += 1
         heapq.heappush(self._heap, handle)
         return handle
@@ -112,7 +131,9 @@ class Simulator:
         """Execute the next pending callback.  Returns False when idle."""
         while self._heap:
             handle = heapq.heappop(self._heap)
+            handle._popped = True
             if handle.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             if handle.time < self.now:  # pragma: no cover - defensive
                 raise RuntimeError("event heap produced a past event")
@@ -150,13 +171,48 @@ class Simulator:
 
     def _peek(self) -> Optional[TimerHandle]:
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            handle = heapq.heappop(self._heap)
+            handle._popped = True
+            self._cancelled_in_heap -= 1
         return self._heap[0] if self._heap else None
+
+    # ------------------------------------------------------------------
+    # Cancelled-entry bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """A live heap entry was cancelled; compact when they dominate.
+
+        Without compaction, watchdog/polling patterns that schedule and
+        cancel repeatedly (e.g. a timeout raced against a completion)
+        grow the heap without bound until the deadline finally pops.
+        """
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled_in_heap * 2 >= len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors.
+
+        Safe for determinism: heap order is the total order (time, seq),
+        so rebuilding cannot reorder live callbacks.
+        """
+        live = []
+        for handle in self._heap:
+            if handle.cancelled:
+                handle._popped = True
+            else:
+                live.append(handle)
+        heapq.heapify(live)
+        self._heap = live
+        self._cancelled_in_heap = 0
 
     @property
     def pending_events(self) -> int:
         """Number of live (non-cancelled) callbacks in the heap."""
-        return sum(1 for handle in self._heap if not handle.cancelled)
+        return len(self._heap) - self._cancelled_in_heap
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self.now:.3f}, pending={self.pending_events})"

@@ -77,8 +77,28 @@ class AnyOf:
             event.add_callback(self._on_member)
 
     def _on_member(self, event: Event) -> None:
-        if not self._proxy.triggered:
-            self._proxy.trigger(event)
+        if self._proxy.triggered:
+            return
+        # Withdraw from the losing members immediately: long-lived events
+        # (task exits, watchdogs) would otherwise accumulate one stale
+        # closure per historical wait.
+        for other in self.events:
+            if other is not event:
+                other.discard_callback(self._on_member)
+        self._proxy.trigger(event)
+
+    def detach(self, callback: Optional[Callable[[Event], None]] = None) -> None:
+        """Withdraw all member registrations (and ``callback`` from the proxy).
+
+        Called when a waiter abandons the composite wait (e.g. the waiting
+        process is killed) so that no member event keeps a reference to
+        this condition, and no eventual member trigger schedules a dead
+        wakeup through the proxy.
+        """
+        if callback is not None:
+            self._proxy.discard_callback(callback)
+        for event in self.events:
+            event.discard_callback(self._on_member)
 
     @property
     def proxy(self) -> Event:

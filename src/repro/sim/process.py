@@ -23,7 +23,7 @@ terminates them.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional, Union
 
 from repro.sim.events import AnyOf, Event
 
@@ -37,6 +37,23 @@ class ProcessKilled(Exception):
     def __init__(self, reason: str = "") -> None:
         super().__init__(reason)
         self.reason = reason
+
+
+class ProcessCrashed(RuntimeError):
+    """An exception escaped a process generator.
+
+    Raised out of :meth:`Simulator.step` chained to the original error
+    (``__cause__``), naming the failing process and the virtual time of the
+    crash — without this, a traceback surfacing from a pool worker gives no
+    hint of *which* experiment process died or when.
+    """
+
+    def __init__(self, name: str, at_us: float, original: BaseException) -> None:
+        super().__init__(
+            f"process {name!r} crashed at t={at_us:.3f}us: {original!r}"
+        )
+        self.process_name = name
+        self.at_us = at_us
 
 
 class Process:
@@ -54,6 +71,9 @@ class Process:
         self.return_value: Any = None
         self._wait_token = 0
         self._pending_timer: Optional["TimerHandle"] = None
+        self._pending_wait: Optional[
+            tuple[Union[Event, AnyOf], Callable[[Event], None]]
+        ] = None
         sim.schedule(0.0, self._resume, self._wait_token, None, None)
 
     # ------------------------------------------------------------------
@@ -63,13 +83,13 @@ class Process:
         """Throw :class:`ProcessKilled` into the generator.
 
         Safe to call at any point while the process is suspended; a no-op
-        once the process has finished.
+        once the process has finished.  Every registration backing the
+        current wait (timer, event callback, AnyOf membership, join) is
+        withdrawn so long-lived events do not accumulate stale closures.
         """
         if not self.alive:
             return
-        if self._pending_timer is not None:
-            self._pending_timer.cancel()
-            self._pending_timer = None
+        self._disarm()
         self._wait_token += 1  # invalidate any outstanding wakeups
         token = self._wait_token
         self.sim.schedule(0.0, self._resume, token, None, ProcessKilled(reason))
@@ -82,6 +102,7 @@ class Process:
             return  # stale wakeup from a cancelled wait
         self._wait_token += 1
         self._pending_timer = None
+        self._pending_wait = None
         try:
             if exc is not None:
                 target = self._generator.throw(exc)
@@ -93,32 +114,49 @@ class Process:
         except ProcessKilled:
             self._finish(None, killed=True)
             return
+        except Exception as error:
+            self._finish(None, killed=False)
+            raise ProcessCrashed(self.name, self.sim.now, error) from error
         self._arm(target)
 
     def _arm(self, target: Any) -> None:
         """Register the wakeup corresponding to whatever was yielded."""
         token = self._wait_token
 
+        def wakeup(event: Event, token: int = token) -> None:
+            self._resume(token, event.value, None)
+
         if isinstance(target, (int, float)):
             self._pending_timer = self.sim.schedule(
                 float(target), self._resume, token, None, None
             )
         elif isinstance(target, Event):
-            target.add_callback(
-                lambda event, token=token: self._resume(token, event.value, None)
-            )
+            target.add_callback(wakeup)
+            self._pending_wait = (target, wakeup)
         elif isinstance(target, AnyOf):
-            target.proxy.add_callback(
-                lambda event, token=token: self._resume(token, event.value, None)
-            )
+            target.proxy.add_callback(wakeup)
+            self._pending_wait = (target, wakeup)
         elif isinstance(target, Process):
-            target.done.add_callback(
-                lambda event, token=token: self._resume(token, event.value, None)
-            )
+            target.done.add_callback(wakeup)
+            self._pending_wait = (target.done, wakeup)
         else:
             raise TypeError(
                 f"process {self.name!r} yielded unsupported value: {target!r}"
             )
+
+    def _disarm(self) -> None:
+        """Withdraw every registration backing the current wait."""
+        if self._pending_timer is not None:
+            self._pending_timer.cancel()
+            self._pending_timer = None
+        wait, self._pending_wait = self._pending_wait, None
+        if wait is None:
+            return
+        target, callback = wait
+        if isinstance(target, AnyOf):
+            target.detach(callback)
+        else:
+            target.discard_callback(callback)
 
     def _finish(self, value: Any, killed: bool) -> None:
         self.alive = False

@@ -66,6 +66,11 @@ class Config:
     ground_truth_attributes: frozenset[str] = DEFAULT_GROUND_TRUTH_ATTRIBUTES
     #: Modules allowed to own randomness (the seeded-stream registry).
     rng_modules: tuple[str, ...] = ("repro.sim.rng",)
+    #: Host-side orchestration modules allowed to read the wall clock
+    #: (NEON201 exemption).  These measure *host* execution time (worker
+    #: pools, cache bookkeeping); virtual time inside simulations stays
+    #: deterministic.
+    host_clock_modules: tuple[str, ...] = ("repro.experiments.parallel",)
     #: Known cross-module virtual-time generator methods (NEON301/302).
     generator_methods: tuple[str, ...] = ("drain", "scan_channel")
     #: Bulk engagement methods whose flip count must be charged (NEON303).
@@ -81,6 +86,9 @@ class Config:
 
     def is_rng_module(self, module: str) -> bool:
         return _has_prefix(module, self.rng_modules)
+
+    def is_host_clock_module(self, module: str) -> bool:
+        return _has_prefix(module, self.host_clock_modules)
 
     def allowlisted(self, path: Path, line: int, rule_id: str) -> bool:
         """True when a config-file allow entry covers this violation."""
@@ -109,6 +117,7 @@ _TUPLE_FIELDS = (
     "boundary_modules",
     "internal_import_prefixes",
     "rng_modules",
+    "host_clock_modules",
     "generator_methods",
     "flip_methods",
     "allow",

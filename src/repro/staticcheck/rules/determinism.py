@@ -7,7 +7,10 @@ unseeded or process-global RNG, or lets Python's unordered ``set``
 decide the order in which events are scheduled or channels served.
 
 * **NEON201** — ``time.time()``/``monotonic()``/``perf_counter()``/
-  ``datetime.now()`` and friends anywhere in simulation code.
+  ``datetime.now()`` and friends anywhere in simulation code; bare
+  references (``clock = time.perf_counter``) count too.  Host-side
+  orchestration modules listed in ``host_clock_modules`` (the parallel
+  cell farm, which measures *host* wall time per cell) are exempt.
 * **NEON202** — ``import random``: the stdlib generator is process
   global; all randomness must come from the named, seeded streams of
   :mod:`repro.sim.rng`.
@@ -129,12 +132,46 @@ class DeterminismChecker:
         aliases = _ImportAliases()
         aliases.visit(ctx.tree)
         rng_module = config.is_rng_module(ctx.module)
+        host_clock = config.is_host_clock_module(ctx.module)
+        call_funcs = {
+            id(node.func)
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.Call)
+        }
         for node in ast.walk(ctx.tree):
             if isinstance(node, (ast.Import, ast.ImportFrom)) and not rng_module:
                 yield from self._check_random_import(ctx, node)
             elif isinstance(node, ast.Call):
-                yield from self._check_call(ctx, node, aliases.aliases, rng_module)
+                yield from self._check_call(
+                    ctx, node, aliases.aliases, rng_module, host_clock
+                )
+            elif (
+                isinstance(node, (ast.Attribute, ast.Name))
+                and id(node) not in call_funcs
+                and not host_clock
+            ):
+                # A bare reference (``clock = time.perf_counter``) is as
+                # much of a wall-clock read as the direct call — the alias
+                # just delays it past AST call matching.
+                yield from self._check_clock_reference(ctx, node, aliases.aliases)
         yield from self._check_set_iteration(ctx)
+
+    def _check_clock_reference(
+        self, ctx: ModuleContext, node: ast.expr, aliases: dict[str, str]
+    ) -> Iterator[Violation]:
+        resolved = self._resolve(node, aliases)
+        if resolved in WALL_CLOCK_CALLS:
+            yield Violation(
+                path=str(ctx.path),
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id="NEON201",
+                message=(
+                    f"reference to wall-clock '{resolved}' aliases "
+                    "nondeterministic time into simulation code; use "
+                    "virtual time (sim.now)"
+                ),
+            )
 
     # ------------------------------------------------------------------
     # NEON201 / NEON202 / NEON203
@@ -173,11 +210,14 @@ class DeterminismChecker:
         node: ast.Call,
         aliases: dict[str, str],
         rng_module: bool,
+        host_clock: bool = False,
     ) -> Iterator[Violation]:
         resolved = self._resolve(node.func, aliases)
         if resolved is None:
             return
         if resolved in WALL_CLOCK_CALLS:
+            if host_clock:
+                return
             yield Violation(
                 path=str(ctx.path),
                 line=node.lineno,

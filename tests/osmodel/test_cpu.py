@@ -3,7 +3,7 @@
 import pytest
 
 from repro.osmodel.cpu import CpuPool
-from repro.sim.process import ProcessKilled
+from repro.sim.process import ProcessCrashed, ProcessKilled
 
 
 def test_invalid_core_count():
@@ -109,8 +109,9 @@ def test_negative_duration_rejected(sim):
         yield from pool.execute(-1.0, "w")
 
     sim.spawn(worker())
-    with pytest.raises(ValueError):
+    with pytest.raises(ProcessCrashed) as excinfo:
         sim.run()
+    assert isinstance(excinfo.value.__cause__, ValueError)
 
 
 def test_paper_claim_polling_load_negligible():

@@ -119,6 +119,51 @@ def test_step_returns_false_when_idle(sim):
     assert sim.step() is False
 
 
+def test_heap_stays_bounded_under_schedule_cancel_loop(sim):
+    # The watchdog/polling pattern: schedule a deadline, cancel it, repeat.
+    # Without compaction every cancelled handle lingers until popped.
+    for _ in range(10_000):
+        sim.schedule(1_000_000.0, lambda: None).cancel()
+    assert sim.pending_events == 0
+    assert len(sim._heap) <= 2 * sim.COMPACT_MIN_CANCELLED
+
+
+def test_compaction_preserves_execution_order(sim):
+    order = []
+    handles = []
+    # Interleave live and doomed callbacks, then cancel enough to compact.
+    for index in range(200):
+        sim.schedule(float(index), order.append, index)
+        handles.append(sim.schedule(float(index) + 0.5, order.append, -index))
+    for handle in handles:
+        handle.cancel()
+    assert len(sim._heap) < 300  # compaction ran
+    sim.run()
+    assert order == list(range(200))
+
+
+def test_pending_events_constant_time_accounting(sim):
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert sim.pending_events == 10
+    handles[3].cancel()
+    handles[7].cancel()
+    assert sim.pending_events == 8
+    handles[3].cancel()  # double-cancel must not double-count
+    assert sim.pending_events == 8
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_cancel_after_fire_does_not_corrupt_count(sim):
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=1.5)
+    handle.cancel()  # already fired: no effect on heap accounting
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.pending_events == 0
+
+
 def test_independent_simulators_do_not_interact():
     sim_a = Simulator()
     sim_b = Simulator()

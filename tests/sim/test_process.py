@@ -3,7 +3,11 @@
 import pytest
 
 from repro.sim.events import AnyOf
-from repro.sim.process import ProcessKilled
+from repro.sim.process import ProcessCrashed, ProcessKilled
+
+
+def callbacks(event):
+    return len(event._callbacks)
 
 
 def test_timeout_yields_resume_later(sim):
@@ -192,6 +196,120 @@ def test_stale_timer_does_not_resume_killed_process(sim):
     sim.schedule(5.0, process.kill)
     sim.run()
     assert log == ["killed"]
+
+
+def test_kill_while_waiting_on_event_leaves_no_stale_callback(sim):
+    event = sim.event()
+
+    def body():
+        yield event
+
+    process = sim.spawn(body())
+    sim.schedule(5.0, process.kill)
+    sim.run()
+    assert process.killed
+    assert callbacks(event) == 0
+    # The long-lived event can still trigger without scheduling dead wakeups.
+    before = sim.pending_events
+    event.trigger("late")
+    assert sim.pending_events == before
+
+
+def test_repeated_kill_while_waiting_does_not_accumulate_callbacks(sim):
+    # The long-running, kill-heavy pattern: many short-lived waiters on
+    # one long-lived event.  Each kill must fully withdraw its waiter.
+    event = sim.event()
+
+    def waiter():
+        yield event
+
+    def killer():
+        for _ in range(50):
+            victim = sim.spawn(waiter())
+            yield 1.0
+            victim.kill()
+        yield 1.0
+
+    sim.spawn(killer())
+    sim.run()
+    assert callbacks(event) == 0
+
+
+def test_kill_while_waiting_on_anyof_detaches_members_and_proxy(sim):
+    a, b = sim.event(), sim.event()
+    condition = AnyOf(sim, [a, b])
+
+    def body():
+        yield condition
+
+    process = sim.spawn(body())
+    sim.schedule(5.0, process.kill)
+    sim.run()
+    assert process.killed
+    assert callbacks(a) == 0
+    assert callbacks(b) == 0
+    assert callbacks(condition.proxy) == 0
+    # Members triggering later must not fire the proxy or wake anything.
+    a.trigger()
+    sim.run()
+    assert not condition.proxy.triggered
+
+
+def test_anyof_winner_detaches_losing_members(sim):
+    a, b, c = sim.event(), sim.event(), sim.event()
+
+    def body():
+        yield AnyOf(sim, [a, b, c])
+
+    sim.spawn(body())
+    sim.schedule(1.0, b.trigger)
+    sim.run()
+    assert callbacks(a) == 0
+    assert callbacks(c) == 0
+
+
+def test_kill_while_joining_removes_done_callback(sim):
+    def sleeper():
+        yield 100.0
+
+    child = sim.spawn(sleeper())
+
+    def parent():
+        yield child
+
+    process = sim.spawn(parent())
+    sim.schedule(5.0, process.kill)
+    sim.run(until=50.0)
+    assert process.killed
+    assert callbacks(child.done) == 0
+
+
+def test_generator_exception_chains_process_name_and_time(sim):
+    def body():
+        yield 7.5
+        raise ValueError("boom")
+
+    process = sim.spawn(body(), name="crasher")
+    with pytest.raises(ProcessCrashed) as excinfo:
+        sim.run()
+    assert excinfo.value.process_name == "crasher"
+    assert excinfo.value.at_us == 7.5
+    assert "crasher" in str(excinfo.value)
+    assert "7.5" in str(excinfo.value)
+    assert isinstance(excinfo.value.__cause__, ValueError)
+    assert not process.alive
+
+
+def test_crashed_process_is_dead_but_not_killed(sim):
+    def body():
+        yield 1.0
+        raise RuntimeError("bug")
+
+    process = sim.spawn(body())
+    with pytest.raises(ProcessCrashed):
+        sim.run()
+    assert not process.alive
+    assert not process.killed
 
 
 def test_two_processes_interleave(sim):

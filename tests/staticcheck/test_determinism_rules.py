@@ -45,6 +45,49 @@ def test_wall_clock_flagged_even_in_rng_module(tmp_path):
     assert [v.rule_id for v in violations] == ["NEON201"]
 
 
+def test_wall_clock_reference_alias_flagged(tmp_path):
+    # Stashing the function reference is as nondeterministic as calling it;
+    # the alias must not slip past call-site matching.
+    module = tmp_path / "aliased_clock.py"
+    module.write_text(
+        "import time\n"
+        "from time import perf_counter\n"
+        "def clocks():\n"
+        "    a = time.perf_counter\n"
+        "    b = perf_counter\n"
+        "    return a, b\n"
+    )
+    violations = analyze_paths([module], Config())
+    assert [(v.rule_id, v.line) for v in violations] == [
+        ("NEON201", 4),
+        ("NEON201", 5),
+    ]
+
+
+def test_host_clock_modules_exempt_from_wall_clock_rule(tmp_path):
+    # Host-side orchestration (the parallel cell farm) legitimately
+    # measures host wall time; the exemption is scoped per module.
+    source = (
+        "import time\n"
+        "def stamp():\n"
+        "    clock = time.perf_counter\n"
+        "    return clock(), time.monotonic()\n"
+    )
+    module = tmp_path / "farm.py"
+    module.write_text(source)
+    flagged = analyze_paths([module], Config(host_clock_modules=()))
+    assert {v.rule_id for v in flagged} == {"NEON201"}
+    exempt = analyze_paths([module], Config(host_clock_modules=("farm",)))
+    assert exempt == []
+
+
+def test_default_config_exempts_parallel_farm_only():
+    config = Config()
+    assert config.is_host_clock_module("repro.experiments.parallel")
+    assert not config.is_host_clock_module("repro.experiments.runner")
+    assert not config.is_host_clock_module("repro.sim.engine")
+
+
 def test_numpy_alias_tracking(tmp_path):
     module = tmp_path / "aliases.py"
     module.write_text(

@@ -35,6 +35,51 @@ def test_duration_flag_default_is_none():
     assert args.duration_ms is None
 
 
+def test_workers_and_cache_flags_parse():
+    args = build_parser().parse_args(
+        ["figure6", "--workers", "4", "--no-cache"]
+    )
+    assert args.workers == 4
+    assert args.no_cache
+
+
+def test_workers_default_is_serial():
+    args = build_parser().parse_args(["figure6"])
+    assert args.workers == 1
+    assert not args.no_cache
+    assert args.cache_dir is None
+
+
+def test_cell_experiment_emits_wall_time_summary(capsys):
+    assert main(["figure5", "--duration-ms", "10"]) == 0
+    captured = capsys.readouterr()
+    assert "Figure 5" in captured.out
+    assert "cell farm:" in captured.err
+    assert "cell farm:" not in captured.out  # stdout stays byte-identical
+
+
+def test_non_cell_experiment_accepts_farm_flags(capsys):
+    # table1 does not take workers/cache; the CLI must not pass them.
+    assert main(["table1", "--duration-ms", "10", "--workers", "2"]) == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_cache_dir_persists_results(tmp_path, capsys):
+    cache_dir = tmp_path / "cells"
+    assert main(
+        ["figure5", "--duration-ms", "10", "--cache-dir", str(cache_dir)]
+    ) == 0
+    first = capsys.readouterr().out
+    files = list(cache_dir.glob("*.json"))
+    assert files
+    assert main(
+        ["figure5", "--duration-ms", "10", "--cache-dir", str(cache_dir)]
+    ) == 0
+    captured = capsys.readouterr()
+    assert captured.out == first  # cached rerun is byte-identical
+    assert "0 executed" in captured.err or "executed" in captured.err
+
+
 def test_catalog_covers_every_paper_artifact():
     expected = {
         "table1", "figure2", "section3", "figure4", "figure5", "figure6",
