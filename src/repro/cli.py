@@ -3,6 +3,8 @@
 Runs any paper experiment and prints its table.  ``repro list`` shows the
 catalog; ``repro all`` regenerates everything (slow).  ``repro staticcheck``
 runs the neonlint static analyzer (see docs/STATIC_ANALYSIS.md).
+``repro trace`` records, summarizes, filters, exports, and diffs
+structured traces (see docs/OBSERVABILITY.md).
 
 Cell-farm experiments (the figure drivers) accept ``--workers N`` to fan
 independent simulation cells out over a process pool, and share a
@@ -151,6 +153,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.staticcheck.cli import main as staticcheck_main
 
         return staticcheck_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # Likewise the trace analysis CLI (record/summary/export/diff).
+        from repro.obs.cli import main as trace_main
+
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, (_, description) in EXPERIMENTS.items():

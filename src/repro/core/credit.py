@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.base import SchedulerBase, register_scheduler
 from repro.neon.stats import ObservedServiceMeter
+from repro.obs import events
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.channel import Channel
@@ -55,6 +56,13 @@ class CreditScheduler(SchedulerBase):
     ) -> Optional["Event"]:
         if self._credit.get(task.task_id, 0.0) > 0.0:
             return None
+        self.kernel.metrics.inc("denials", task.name)
+        trace = self.kernel.trace
+        if trace.enabled:
+            trace.emit(
+                self.sim.now, self.name, events.DENIAL,
+                task=task.name, lag_us=-self._credit.get(task.task_id, 0.0),
+            )
         event = self.sim.event()
         self._waiters.setdefault(task.task_id, []).append(event)
         return event

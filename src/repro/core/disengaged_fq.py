@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.core.base import SchedulerBase, register_scheduler
 from repro.core.virtual_time import VirtualTimeTable
 from repro.neon.stats import ChannelKind
+from repro.obs import events
 from repro.sim.events import AnyOf
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -227,10 +228,22 @@ class DisengagedFairQueueing(SchedulerBase):
         self._phase = "engage"
         self._allowed = set()
         episode_start = self.sim.now
+        trace = self.kernel.trace
+        self.kernel.metrics.inc("episodes", self.name)
+        if trace.enabled:
+            trace.emit(
+                episode_start, self.name, events.BARRIER_BEGIN,
+                episode=self.episodes,
+            )
 
         # 1. Barrier: stop new submissions everywhere.
         flips = self.neon.engage_all()
         yield self.neon.flip_cost(flips)
+        if trace.enabled:
+            trace.emit(
+                self.sim.now, self.name, events.BARRIER_END,
+                episode=self.episodes, flips=flips,
+            )
 
         # 2. Drain, with runaway protection.
         yield from self._drain_all()
@@ -272,6 +285,16 @@ class DisengagedFairQueueing(SchedulerBase):
         for task in self.managed_tasks:
             if task.alive and task.task_id not in active_ids:
                 self.vt.lift_inactive(task.task_id)
+        if trace.enabled:
+            for task in active_tasks:
+                trace.emit(
+                    self.sim.now, self.name, events.VT_UPDATE,
+                    task=task.name,
+                    usage_us=usage.get(task.task_id, 0.0)
+                    + sampled_usage.get(task.task_id, 0.0),
+                    vt=self.vt.get(task.task_id),
+                    system_vt=self.vt.system_vt,
+                )
 
         upcoming = self._freerun_length(len(active_tasks))
         denied: list["Task"] = []
@@ -289,6 +312,13 @@ class DisengagedFairQueueing(SchedulerBase):
             least_ahead = min(denied, key=lambda t: self.vt.lag(t.task_id))
             denied.remove(least_ahead)
             self._allowed.add(least_ahead.task_id)
+        for task in denied:
+            self.kernel.metrics.inc("denials", task.name)
+            if trace.enabled:
+                trace.emit(
+                    self.sim.now, self.name, events.DENIAL,
+                    task=task.name, lag_us=self.vt.lag(task.task_id),
+                )
 
         self.decision_log.append(
             (self.sim.now, len(self._allowed), len(denied))
@@ -308,12 +338,13 @@ class DisengagedFairQueueing(SchedulerBase):
         for task in self.managed_tasks:
             if task.alive and task.task_id in self._allowed:
                 self._release_waiters(task)
-        self.kernel.trace.emit(
-            self.sim.now, self.name, "freerun_start",
-            allowed=sorted(self._allowed),
-            denied=[task.name for task in denied],
-            freerun_us=upcoming,
-        )
+        if trace.enabled:
+            trace.emit(
+                self.sim.now, self.name, events.FREERUN_START,
+                allowed=sorted(self._allowed),
+                denied=[task.name for task in denied],
+                freerun_us=upcoming,
+            )
         self.time_breakdown["engagement_us"] += self.sim.now - episode_start
         freerun_start = self.sim.now
         yield upcoming
@@ -402,6 +433,12 @@ class DisengagedFairQueueing(SchedulerBase):
         """Give ``task`` a brief exclusive, fully intercepted window and
         measure its request sizes.  Returns the task's observed usage."""
         window = _SamplingWindow(self, task, self._sample_target(task))
+        trace = self.kernel.trace
+        if trace.enabled:
+            trace.emit(
+                self.sim.now, self.name, events.SAMPLE_WINDOW_BEGIN,
+                task=task.name, target_requests=window.target_requests,
+            )
         self._window = window
         poller = self.sim.spawn(self._fine_poll(), name="dfq-sampling-poller")
         self._release_waiters(task)
@@ -425,6 +462,12 @@ class DisengagedFairQueueing(SchedulerBase):
                 self.kernel.kill_task(
                     task, "request exceeded the documented maximum run time"
                 )
+        if trace.enabled:
+            trace.emit(
+                self.sim.now, self.name, events.SAMPLE_WINDOW_END,
+                task=task.name, observed=window.observed,
+                usage_us=window.usage_us,
+            )
         return window.usage_us
 
     def _fine_poll(self):

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.base import SchedulerBase, register_scheduler
 from repro.neon.stats import ObservedServiceMeter, RequestSizeEstimator
+from repro.obs import events
 from repro.sim.events import AnyOf
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -153,6 +154,13 @@ class DeficitRoundRobin(SchedulerBase):
             done = self.sim.event()
             self._completion_events[request.request_id] = done
             self._released.add(request.request_id)
+            self.kernel.metrics.inc("releases", task.name)
+            trace = self.kernel.trace
+            if trace.enabled:
+                trace.emit(
+                    self.sim.now, self.name, events.REQUEST_RELEASED,
+                    task=task.name, channel=channel.channel_id,
+                )
             if not event.triggered:
                 event.trigger()
             deadline = self.sim.event()

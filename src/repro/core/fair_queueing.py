@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.base import SchedulerBase, register_scheduler
 from repro.neon.stats import ObservedServiceMeter, RequestSizeEstimator
+from repro.obs import events
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.channel import Channel
@@ -85,7 +86,7 @@ class EngagedFairQueueing(SchedulerBase):
         size = self._estimate(channel)
         self._last_finish[task.task_id] = start_tag + size
         if self._outstanding < self.depth and not self._pending:
-            self._release(request, start_tag)
+            self._release(task, request, start_tag)
             return None
         event = self.sim.event()
         heapq.heappush(
@@ -135,11 +136,18 @@ class EngagedFairQueueing(SchedulerBase):
             return DEFAULT_SIZE_GUESS_US
         return estimator.mean
 
-    def _release(self, request: "Request", start_tag: float) -> None:
+    def _release(self, task: "Task", request: "Request", start_tag: float) -> None:
         self._released.add(request.request_id)
         self._outstanding += 1
         self.dispatched_requests += 1
         self.system_vt = max(self.system_vt, start_tag)
+        self.kernel.metrics.inc("releases", task.name)
+        trace = self.kernel.trace
+        if trace.enabled:
+            trace.emit(
+                self.sim.now, self.name, events.REQUEST_RELEASED,
+                task=task.name, start_tag=start_tag,
+            )
 
     def _on_request_done(self) -> None:
         self._outstanding = max(0, self._outstanding - 1)
@@ -147,7 +155,7 @@ class EngagedFairQueueing(SchedulerBase):
 
     def _dispatch_pending(self) -> None:
         while self._pending and self._outstanding < self.depth:
-            start_tag, _tie, _task, request, event = heapq.heappop(self._pending)
-            self._release(request, start_tag)
+            start_tag, _tie, task, request, event = heapq.heappop(self._pending)
+            self._release(task, request, start_tag)
             if not event.triggered:
                 event.trigger()

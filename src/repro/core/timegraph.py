@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.base import SchedulerBase, register_scheduler
 from repro.neon.stats import ObservedServiceMeter
+from repro.obs import events
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.channel import Channel
@@ -90,6 +91,14 @@ class TimeGraphReservation(SchedulerBase):
         if self._budget.get(task.task_id, 0.0) > debt_limit:
             return None
         self.penalties += 1
+        self.kernel.metrics.inc("denials", task.name)
+        trace = self.kernel.trace
+        if trace.enabled:
+            trace.emit(
+                self.sim.now, self.name, events.DENIAL,
+                task=task.name,
+                lag_us=debt_limit - self._budget.get(task.task_id, 0.0),
+            )
         event = self.sim.event()
         self._waiters.setdefault(task.task_id, []).append(event)
         return event

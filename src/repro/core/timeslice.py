@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.base import SchedulerBase, register_scheduler
 from repro.core.overuse import OveruseLedger
+from repro.obs import events
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.channel import Channel
@@ -68,8 +69,7 @@ class TimesliceScheduler(SchedulerBase):
     # Token machinery
     # ------------------------------------------------------------------
     def _release_waiters(self, task: "Task") -> None:
-        events = self._waiters.pop(task.task_id, [])
-        for event in events:
+        for event in self._waiters.pop(task.task_id, []):
             if not event.triggered:
                 event.trigger()
 
@@ -93,6 +93,13 @@ class TimesliceScheduler(SchedulerBase):
     def _grant(self, task: "Task") -> None:
         self.token_holder = task
         self.slices_granted += 1
+        self.kernel.metrics.inc("token_passes", task.name)
+        trace = self.kernel.trace
+        if trace.enabled:
+            trace.emit(
+                self.sim.now, self.name, events.TOKEN_PASS,
+                task=task.name, slice=self.slices_granted,
+            )
         if self.neon.preemption_available:
             self.neon.unmask_task(task)  # reinstate on the runlist
         self._release_waiters(task)
@@ -138,4 +145,12 @@ class TimesliceScheduler(SchedulerBase):
                 task, "request exceeded the documented maximum run time"
             )
             return
-        self.overuse.charge(task, self.sim.now - slice_end)
+        excess = self.sim.now - slice_end
+        self.overuse.charge(task, excess)
+        self.kernel.metrics.inc("overuse_charged_us", task.name, excess)
+        trace = self.kernel.trace
+        if trace.enabled:
+            trace.emit(
+                self.sim.now, self.name, events.OVERUSE_CHARGE,
+                task=task.name, excess_us=excess,
+            )

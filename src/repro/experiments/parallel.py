@@ -60,6 +60,7 @@ def result_to_jsonable(result: WorkloadResult) -> dict:
         "mean_request_us": result.mean_request_us,
         "requests_submitted": result.requests_submitted,
         "ground_truth_usage_us": result.ground_truth_usage_us,
+        "metrics": result.metrics,
     }
 
 
@@ -78,6 +79,7 @@ def result_from_jsonable(payload: dict) -> WorkloadResult:
         mean_request_us=payload["mean_request_us"],
         requests_submitted=payload["requests_submitted"],
         ground_truth_usage_us=payload["ground_truth_usage_us"],
+        metrics=payload.get("metrics", {}),
     )
 
 

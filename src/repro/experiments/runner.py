@@ -7,13 +7,14 @@ per-workload results.  All experiments are deterministic given the seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.core.base import SchedulerBase, scheduler_registry
 from repro.gpu.device import GpuDevice
 from repro.gpu.params import GpuParams
 from repro.metrics.rounds import RoundStats
+from repro.obs.metrics import MetricsRegistry
 from repro.osmodel.costs import CostParams
 from repro.osmodel.kernel import ChannelQuotaPolicy, Kernel, MemoryQuotaPolicy
 from repro.sim.engine import Simulator
@@ -39,6 +40,7 @@ class SimulationEnv:
     scheduler: SchedulerBase
     rng: RngRegistry
     trace: TraceRecorder
+    metrics: MetricsRegistry
 
 
 def build_env(
@@ -49,17 +51,26 @@ def build_env(
     quota: Optional[ChannelQuotaPolicy] = None,
     memory_quota: Optional[MemoryQuotaPolicy] = None,
     trace_kinds: Optional[Iterable[str]] = None,
+    trace: Optional[TraceRecorder] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SimulationEnv:
-    """Wire up a simulator, device, kernel, and scheduler."""
+    """Wire up a simulator, device, kernel, and scheduler.
+
+    ``trace`` (a ready-made recorder, e.g. a capped ring buffer) takes
+    precedence over ``trace_kinds`` (record only the listed kinds);
+    without either, the null recorder keeps tracing cost off the run.
+    """
     sim = Simulator()
     rng = RngRegistry(seed)
-    trace: TraceRecorder
-    if trace_kinds is None:
-        trace = NullRecorder()
-    else:
-        trace = TraceRecorder(trace_kinds)
-    device = GpuDevice(sim, gpu_params, trace)
-    kernel = Kernel(sim, device, costs, trace, quota, memory_quota)
+    if trace is None:
+        if trace_kinds is None:
+            trace = NullRecorder()
+        else:
+            trace = TraceRecorder(trace_kinds)
+    if metrics is None:
+        metrics = MetricsRegistry()
+    device = GpuDevice(sim, gpu_params, trace, metrics)
+    kernel = Kernel(sim, device, costs, trace, quota, memory_quota, metrics)
     if isinstance(scheduler, str):
         try:
             scheduler = scheduler_registry[scheduler]()
@@ -69,7 +80,7 @@ def build_env(
                 f"unknown scheduler {scheduler!r}; known: {known}"
             ) from None
     kernel.attach_scheduler(scheduler)
-    return SimulationEnv(sim, device, kernel, scheduler, rng, trace)
+    return SimulationEnv(sim, device, kernel, scheduler, rng, trace, metrics)
 
 
 @dataclass(frozen=True)
@@ -83,6 +94,9 @@ class WorkloadResult:
     mean_request_us: float
     requests_submitted: int
     ground_truth_usage_us: float
+    #: Flat per-task metrics snapshot (counters, histogram summaries, and
+    #: engaged/disengaged channel time) taken at the end of the run.
+    metrics: dict = field(default_factory=dict)
 
     @property
     def mean_round_us(self) -> float:
@@ -99,8 +113,11 @@ def run_workloads(
     for workload in workloads:
         workload.start(env.sim, env.kernel, env.rng)
     env.sim.run(until=duration_us)
+    engagement = env.scheduler.neon.engagement.snapshot(env.sim.now)
     results = {}
     for workload in workloads:
+        task_metrics = env.metrics.task_view(workload.task.name)
+        task_metrics.update(engagement.get(workload.task.name, {}))
         results[workload.name] = WorkloadResult(
             name=workload.name,
             rounds=workload.round_stats(warmup_us, duration_us),
@@ -109,6 +126,7 @@ def run_workloads(
             mean_request_us=workload.mean_request_size(),
             requests_submitted=len(workload.requests),
             ground_truth_usage_us=env.device.task_usage(workload.task),
+            metrics=task_metrics,
         )
     return results
 

@@ -12,6 +12,8 @@ from repro.gpu.engine import ExecutionEngine
 from repro.gpu.memory import GpuMemory
 from repro.gpu.params import GpuParams
 from repro.gpu.request import Request, RequestKind
+from repro.obs import events
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.events import Event
 from repro.sim.trace import NullRecorder, TraceRecorder
 
@@ -36,11 +38,16 @@ class GpuDevice:
         sim: "Simulator",
         params: Optional[GpuParams] = None,
         trace: Optional[TraceRecorder] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.params = params or GpuParams()
         self.params.validate()
         self.trace = trace if trace is not None else NullRecorder()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Hot-path instruments, resolved once (submit/retire run per request).
+        self._submits = self.metrics.counter("submits")
+        self.latency_histogram = self.metrics.histogram("request_latency_us")
         main_kinds = {RequestKind.COMPUTE, RequestKind.GRAPHICS}
         if not self.params.separate_copy_engine:
             main_kinds.add(RequestKind.DMA)
@@ -113,16 +120,18 @@ class GpuDevice:
         request.completion = self.sim.event()
         channel.enqueue(request, self.sim.now)
         self._engine_for(channel.kind).notify()
-        self.trace.emit(
-            self.sim.now,
-            "gpu.device",
-            "request_submit",
-            task=channel.task.name,
-            channel=channel.channel_id,
-            ref=request.ref,
-            size_us=request.size_us,
-            request_kind=request.kind.value,
-        )
+        self._submits.inc(channel.task.name)
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now,
+                "gpu.device",
+                events.REQUEST_SUBMIT,
+                task=channel.task.name,
+                channel=channel.channel_id,
+                ref=request.ref,
+                size_us=request.size_us,
+                request_kind=request.kind.value,
+            )
         return request.completion
 
     def _engine_for(self, kind: RequestKind) -> ExecutionEngine:
@@ -155,9 +164,11 @@ class GpuDevice:
                     request.completion.trigger(request)
         self.memory.release_context(context)
         self.main_engine.inject_stall(self.params.context_cleanup_us)
-        self.trace.emit(
-            self.sim.now, "gpu.device", "context_killed", task=context.task.name
-        )
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now, "gpu.device", events.CONTEXT_KILLED,
+                task=context.task.name,
+            )
 
     # ------------------------------------------------------------------
     # Status and accounting

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.gpu.channel import Channel
 from repro.gpu.request import Request, RequestKind
+from repro.obs import events
 from repro.sim.events import AnyOf, Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -280,11 +281,12 @@ class ExecutionEngine:
         yield save
         self.busy_us += save
         self.switch_us += save
-        self.device.trace.emit(
-            now, f"gpu.{self.name}", "request_preempted",
-            task=channel.task.name, channel=channel.channel_id,
-            ref=request.ref, remaining_us=request.remaining_us,
-        )
+        if self.device.trace.enabled:
+            self.device.trace.emit(
+                now, f"gpu.{self.name}", events.REQUEST_PREEMPTED,
+                task=channel.task.name, channel=channel.channel_id,
+                ref=request.ref, remaining_us=request.remaining_us,
+            )
 
     def _retire(
         self,
@@ -319,20 +321,33 @@ class ExecutionEngine:
         self.current_channel = None
         self._abort = None
         self._preempt = None
+        latency_us: Optional[float] = None
         if aborted:
             request.aborted = True
             # The kill path resets the channel's counters; nothing to do.
         else:
             channel.complete(request)
             self.completed_requests += 1
-        self.device.trace.emit(
-            now,
-            f"gpu.{self.name}",
-            "request_aborted" if aborted else "request_complete",
-            task=channel.task.name,
-            channel=channel.channel_id,
-            ref=request.ref,
-            service_us=service,
-        )
+            if request.submit_time is not None:
+                latency_us = now - request.submit_time
+                self.device.latency_histogram.observe(
+                    channel.task.name, latency_us
+                )
+        trace = self.device.trace
+        if trace.enabled:
+            payload = dict(
+                task=channel.task.name,
+                channel=channel.channel_id,
+                ref=request.ref,
+                service_us=service,
+            )
+            if latency_us is not None:
+                payload["latency_us"] = latency_us
+            trace.emit(
+                now,
+                f"gpu.{self.name}",
+                events.REQUEST_ABORTED if aborted else events.REQUEST_COMPLETE,
+                **payload,
+            )
         if request.completion is not None and not request.completion.triggered:
             request.completion.trigger(request)

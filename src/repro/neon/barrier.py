@@ -10,8 +10,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.obs import events
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.channel import Channel
+    from repro.sim.trace import TraceRecorder
 
 
 @dataclass
@@ -27,3 +30,17 @@ class DrainResult:
     @property
     def timed_out(self) -> bool:
         return not self.drained
+
+    def emit_stall(self, trace: "TraceRecorder", now: float) -> None:
+        """Record the drain's stall on the trace (one event per drain)."""
+        if not trace.enabled:
+            return
+        trace.emit(
+            now,
+            "neon.drain",
+            events.DRAIN_STALL,
+            waited_us=self.waited_us,
+            drained=self.drained,
+            channels=len(self.offenders),
+            offenders=sorted(channel.channel_id for channel in self.offenders),
+        )

@@ -22,6 +22,8 @@ from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.neon.barrier import DrainResult
 from repro.neon.stats import ChannelKind, ChannelObservations
+from repro.obs import events
+from repro.obs.engagement import EngagementLedger
 from repro.sim.events import AnyOf
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -38,8 +40,11 @@ class InterceptionManager:
         self.sim = kernel.sim
         self.costs = kernel.costs
         self.polling = kernel.polling
+        self.trace = kernel.trace
         self.channels: dict[int, "Channel"] = {}
         self.observations: dict[int, ChannelObservations] = {}
+        #: Per-task engaged/disengaged channel-time, fed by page flips.
+        self.engagement = EngagementLedger()
 
     # ------------------------------------------------------------------
     # Channel tracking
@@ -56,11 +61,18 @@ class InterceptionManager:
             channel.channel_id, ChannelKind(channel.kind.value)
         )
         self.observations[channel.channel_id] = observation
+        self.engagement.track(
+            channel.channel_id,
+            channel.task.name,
+            channel.register_page.protected,
+            self.sim.now,
+        )
         return observation
 
     def untrack(self, channel: "Channel") -> None:
         self.channels.pop(channel.channel_id, None)
         self.observations.pop(channel.channel_id, None)
+        self.engagement.untrack(channel.channel_id, self.sim.now)
 
     def live_channels(self) -> list["Channel"]:
         return [
@@ -85,6 +97,12 @@ class InterceptionManager:
         if channel.register_page.protected:
             return 0
         channel.register_page.protect()
+        self.engagement.set_state(channel.channel_id, True, self.sim.now)
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now, "neon", events.CHANNEL_ENGAGED,
+                task=channel.task.name, channel=channel.channel_id,
+            )
         return 1
 
     def disengage_channel(self, channel: "Channel") -> int:
@@ -92,6 +110,12 @@ class InterceptionManager:
         if not channel.register_page.protected:
             return 0
         channel.register_page.unprotect()
+        self.engagement.set_state(channel.channel_id, False, self.sim.now)
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now, "neon", events.CHANNEL_DISENGAGED,
+                task=channel.task.name, channel=channel.channel_id,
+            )
         return 1
 
     def engage_task(self, task: "Task") -> int:
@@ -161,7 +185,7 @@ class InterceptionManager:
             if channel.refcounter < channel.last_submitted_ref:
                 pending.append(channel)
         if not pending:
-            return DrainResult(True, [], self.sim.now - start)
+            return self._drain_done(DrainResult(True, [], self.sim.now - start))
 
         remaining = len(pending)
         all_done = self.sim.event()
@@ -181,14 +205,14 @@ class InterceptionManager:
 
         if timeout_us is None:
             yield all_done
-            return DrainResult(True, [], self.sim.now - start)
+            return self._drain_done(DrainResult(True, [], self.sim.now - start))
 
         deadline = self.sim.event()
         timer = self.sim.schedule(timeout_us, deadline.trigger)
         first = yield AnyOf(self.sim, [all_done, deadline])
         if first is all_done:
             timer.cancel()
-            return DrainResult(True, [], self.sim.now - start)
+            return self._drain_done(DrainResult(True, [], self.sim.now - start))
         for watch_id in watch_ids:
             self.polling.cancel(watch_id)
         offenders = [
@@ -196,7 +220,11 @@ class InterceptionManager:
             for channel in pending
             if channel.refcounter < channel.last_submitted_ref
         ]
-        return DrainResult(False, offenders, self.sim.now - start)
+        return self._drain_done(DrainResult(False, offenders, self.sim.now - start))
+
+    def _drain_done(self, result: DrainResult) -> DrainResult:
+        result.emit_stall(self.trace, self.sim.now)
+        return result
 
     # ------------------------------------------------------------------
     # Hardware preemption and runlist masking (§6.2 extensions)

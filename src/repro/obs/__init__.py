@@ -1,0 +1,37 @@
+"""Observability: typed trace events, metrics, export, and analysis.
+
+The observability layer sits *beside* the simulation, not inside it:
+
+* :mod:`repro.obs.events` — the registry of typed trace event kinds.
+  Every ``trace.emit`` call site in the package names a registered
+  constant (enforced by neonlint rules NEON401/NEON402).
+* :mod:`repro.obs.metrics` — per-task / per-scheduler counters and
+  histograms (:class:`MetricsRegistry`), snapshotted into experiment
+  results.
+* :mod:`repro.obs.engagement` — per-task engaged vs. disengaged time
+  accounting, fed by the interception layer's page flips.
+* :mod:`repro.obs.export` — JSONL and Chrome trace-event (Perfetto)
+  export/import.
+* :mod:`repro.obs.overhead` — reconstructs the paper's engagement
+  overhead breakdown (drain wait / sampling / other engagement /
+  free-run) from a trace alone.
+* :mod:`repro.obs.summary` — per-task trace summaries and trace diffs.
+* :mod:`repro.obs.cli` — the ``repro trace`` subcommand.
+
+Nothing here imports :mod:`repro.gpu` or :mod:`repro.osmodel`: analyses
+operate on recorded traces and snapshots, never on live ground truth.
+"""
+
+from repro.obs.engagement import EngagementLedger
+from repro.obs.events import EVENT_KINDS, EventKindSpec, registered_kinds
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventKindSpec",
+    "registered_kinds",
+    "MetricsRegistry",
+    "Counter",
+    "Histogram",
+    "EngagementLedger",
+]

@@ -1,0 +1,93 @@
+"""Per-task engaged vs. disengaged time accounting.
+
+The interception layer feeds an :class:`EngagementLedger` every time a
+channel's register page flips between protected (engaged) and direct
+(disengaged) access.  The ledger integrates channel-time: a task with two
+channels engaged for 50µs accrues 100µs of engaged channel-time.  This is
+the quantity behind the paper's "fraction of time spent engaged" overhead
+claim, reported per task by ``repro trace summary`` and the metrics
+snapshot.
+
+Pure bookkeeping — no simulator, gpu, or kernel imports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class _ChannelState:
+    task: str
+    engaged: bool
+    since: float
+    engaged_us: float = 0.0
+    disengaged_us: float = 0.0
+
+    def settle(self, now: float) -> None:
+        elapsed = now - self.since
+        if elapsed > 0:
+            if self.engaged:
+                self.engaged_us += elapsed
+            else:
+                self.disengaged_us += elapsed
+        self.since = now
+
+
+class EngagementLedger:
+    """Integrates per-channel engaged/disengaged time, grouped by task."""
+
+    def __init__(self) -> None:
+        self._channels: dict[int, _ChannelState] = {}
+        #: Channel-time accrued by channels already untracked (task exit).
+        self._closed: dict[str, dict[str, float]] = {}
+
+    def track(self, channel_id: int, task: str, engaged: bool, now: float) -> None:
+        """Start accounting for a channel (at creation time)."""
+        self._channels[channel_id] = _ChannelState(task, engaged, now)
+
+    def set_state(self, channel_id: int, engaged: bool, now: float) -> None:
+        """Record a protection flip; no-op for unknown channels or no-ops."""
+        state = self._channels.get(channel_id)
+        if state is None or state.engaged == engaged:
+            return
+        state.settle(now)
+        state.engaged = engaged
+
+    def untrack(self, channel_id: int, now: float) -> None:
+        """Stop accounting (task exit); accrued time is preserved."""
+        state = self._channels.pop(channel_id, None)
+        if state is None:
+            return
+        state.settle(now)
+        closed = self._closed.setdefault(
+            state.task, {"engaged_us": 0.0, "disengaged_us": 0.0}
+        )
+        closed["engaged_us"] += state.engaged_us
+        closed["disengaged_us"] += state.disengaged_us
+
+    def snapshot(self, now: float) -> dict[str, dict[str, float]]:
+        """Per-task ``{engaged_us, disengaged_us}`` channel-time up to ``now``.
+
+        Live channels are settled into the result without mutating the
+        ledger, so snapshots are safe mid-run.  Sorted by task name.
+        """
+        totals: dict[str, dict[str, float]] = {}
+        for task in sorted(self._closed):
+            closed = self._closed[task]
+            totals[task] = {
+                "engaged_us": closed["engaged_us"],
+                "disengaged_us": closed["disengaged_us"],
+            }
+        for channel_id in sorted(self._channels):
+            state = self._channels[channel_id]
+            entry = totals.setdefault(
+                state.task, {"engaged_us": 0.0, "disengaged_us": 0.0}
+            )
+            entry["engaged_us"] += state.engaged_us
+            entry["disengaged_us"] += state.disengaged_us
+            elapsed = now - state.since
+            if elapsed > 0:
+                key = "engaged_us" if state.engaged else "disengaged_us"
+                entry[key] += elapsed
+        return dict(sorted(totals.items()))

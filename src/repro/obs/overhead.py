@@ -1,0 +1,130 @@
+"""Reconstruct the engagement-overhead breakdown from a trace alone.
+
+The disengaged schedulers keep a live ``time_breakdown`` dict while they
+run; this module derives the same four quantities purely from trace
+events, proving the trace carries the paper's overhead story (Table in
+§5.2: time lost to drains, sampling, and other engagement work versus
+disengaged free-running):
+
+* ``engagement_us`` — episode time, ``barrier_begin`` → ``freerun_start``
+  (each pair is one engagement episode; a trailing unfinished episode is
+  excluded, exactly as the live accounting excludes it);
+* ``sampling_us`` — first ``sample_window_begin`` → last
+  ``sample_window_end`` within an episode (windows run back-to-back,
+  including their post-window drains);
+* ``drain_wait_us`` — summed ``drain_stall.waited_us`` for stalls
+  *outside* sampling windows (the barrier drain; in-window drains are
+  already part of ``sampling_us``);
+* ``freerun_us`` — each ``freerun_start``'s scheduled length, counted
+  only if the free-run completed within the run (``end_us``).
+
+The equivalence is tested against ``scheduler.time_breakdown`` in
+``tests/obs/test_overhead.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs import events
+from repro.sim.trace import TraceRecorder
+
+BREAKDOWN_KEYS = ("drain_wait_us", "sampling_us", "engagement_us", "freerun_us")
+
+
+def overhead_breakdown(
+    trace: TraceRecorder, end_us: Optional[float] = None
+) -> dict[str, float]:
+    """Derive the scheduler's time breakdown from trace events.
+
+    ``end_us`` is the run's end time (e.g. ``sim.now`` after the run or
+    the experiment duration); without it the last record's time is used,
+    which may undercount a trailing free-run on a quiet tail.
+    """
+    if end_us is None:
+        end_us = trace.span_us[1]
+
+    breakdown = {key: 0.0 for key in BREAKDOWN_KEYS}
+
+    # Episode spans: pair each freerun_start with the latest barrier_begin.
+    barrier_time: Optional[float] = None
+    window_begin: Optional[float] = None
+    stalls: list[tuple[float, float]] = []
+    windows: list[tuple[float, float]] = []
+
+    wanted = (
+        events.BARRIER_BEGIN,
+        events.FREERUN_START,
+        events.SAMPLE_WINDOW_BEGIN,
+        events.SAMPLE_WINDOW_END,
+        events.DRAIN_STALL,
+    )
+    for record in trace.records(kinds=wanted):
+        if record.kind == events.BARRIER_BEGIN:
+            barrier_time = record.time
+        elif record.kind == events.FREERUN_START:
+            if barrier_time is not None:
+                breakdown["engagement_us"] += record.time - barrier_time
+                barrier_time = None
+            freerun_us = float(record.payload.get("freerun_us", 0.0))
+            if record.time + freerun_us <= end_us:
+                breakdown["freerun_us"] += freerun_us
+        elif record.kind == events.SAMPLE_WINDOW_BEGIN:
+            window_begin = record.time
+        elif record.kind == events.SAMPLE_WINDOW_END:
+            if window_begin is not None:
+                windows.append((window_begin, record.time))
+                window_begin = None
+        elif record.kind == events.DRAIN_STALL:
+            stalls.append((record.time, float(record.payload.get("waited_us", 0.0))))
+
+    # Windows within an episode run back-to-back (each span includes its
+    # post-window drain), so summing spans equals the live accounting's
+    # first-begin → last-end per episode.
+    breakdown["sampling_us"] = sum(end - begin for begin, end in windows)
+
+    # Barrier-drain stalls: those not inside a sampling window.  The test
+    # is half-open (begin, end]: a barrier drain returns at the instant the
+    # first window opens, while an in-window drain's stall lands exactly on
+    # its window's end.
+    for time, waited_us in stalls:
+        in_window = any(begin < time <= end for begin, end in windows)
+        if not in_window:
+            breakdown["drain_wait_us"] += waited_us
+
+    return breakdown
+
+
+def overhead_report(
+    breakdown: dict[str, float], end_us: Optional[float] = None
+) -> list[str]:
+    """Human-readable breakdown lines for the CLI summary."""
+    accounted = sum(breakdown.get(key, 0.0) for key in
+                    ("engagement_us", "freerun_us"))
+    engagement = breakdown.get("engagement_us", 0.0)
+    sampling = breakdown.get("sampling_us", 0.0)
+    drain = breakdown.get("drain_wait_us", 0.0)
+    other = max(engagement - sampling - drain, 0.0)
+    lines = []
+
+    def pct(part: float, whole: float) -> str:
+        return f"{100.0 * part / whole:5.1f}%" if whole > 0 else "    -"
+
+    total = end_us if end_us else accounted
+    lines.append(
+        f"  engagement        {engagement / 1000.0:10.2f} ms  {pct(engagement, total)}"
+    )
+    lines.append(
+        f"    drain wait      {drain / 1000.0:10.2f} ms  {pct(drain, total)}"
+    )
+    lines.append(
+        f"    sampling        {sampling / 1000.0:10.2f} ms  {pct(sampling, total)}"
+    )
+    lines.append(
+        f"    other (flips)   {other / 1000.0:10.2f} ms  {pct(other, total)}"
+    )
+    lines.append(
+        f"  free-run          {breakdown.get('freerun_us', 0.0) / 1000.0:10.2f} ms  "
+        f"{pct(breakdown.get('freerun_us', 0.0), total)}"
+    )
+    return lines

@@ -1,0 +1,186 @@
+"""Per-task trace summaries and trace diffs for the ``repro trace`` CLI.
+
+A :class:`TaskSummary` is reconstructed from the trace alone: request and
+fault counts directly from their events, engaged/disengaged time by
+replaying the interception layer's protection flips per channel.  A
+channel is accounted from its first appearance in the trace; pages start
+unprotected (disengaged), matching device discovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs import events
+from repro.obs.overhead import overhead_breakdown
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class TaskSummary:
+    """What one task did, as seen by the trace."""
+
+    task: str
+    submits: int = 0
+    completes: int = 0
+    aborts: int = 0
+    faults: int = 0
+    denials: int = 0
+    samples: int = 0
+    engaged_us: float = 0.0
+    disengaged_us: float = 0.0
+    killed: bool = False
+    exited: bool = False
+    latency_sum_us: float = 0.0
+    latency_count: int = 0
+
+    @property
+    def mean_latency_us(self) -> Optional[float]:
+        if self.latency_count == 0:
+            return None
+        return self.latency_sum_us / self.latency_count
+
+
+@dataclass
+class TraceSummary:
+    """Whole-trace rollup: per-task summaries plus the overhead view."""
+
+    span_us: tuple[float, float]
+    records: int
+    dropped: int
+    kind_counts: dict[str, int]
+    tasks: dict[str, TaskSummary] = field(default_factory=dict)
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class _ChannelReplay:
+    task: str
+    engaged: bool
+    since: float
+    totals: TaskSummary
+
+    def settle(self, now: float) -> None:
+        elapsed = now - self.since
+        if elapsed > 0:
+            if self.engaged:
+                self.totals.engaged_us += elapsed
+            else:
+                self.totals.disengaged_us += elapsed
+        self.since = now
+
+
+def summarize(trace: TraceRecorder, end_us: Optional[float] = None) -> TraceSummary:
+    """Build a :class:`TraceSummary` by replaying the trace."""
+    if end_us is None:
+        end_us = trace.span_us[1]
+
+    tasks: dict[str, TaskSummary] = {}
+    channels: dict[int, _ChannelReplay] = {}
+
+    def task_summary(name: str) -> TaskSummary:
+        summary = tasks.get(name)
+        if summary is None:
+            summary = TaskSummary(name)
+            tasks[name] = summary
+        return summary
+
+    def sight_channel(record) -> None:
+        """First sighting of a channel starts its engagement accounting."""
+        channel_id = record.payload.get("channel")
+        task = record.payload.get("task")
+        if not isinstance(channel_id, int) or not isinstance(task, str):
+            return
+        if channel_id not in channels:
+            channels[channel_id] = _ChannelReplay(
+                task, False, record.time, task_summary(task)
+            )
+
+    for record in trace.records():
+        payload = record.payload
+        task = payload.get("task")
+        sight_channel(record)
+        if not isinstance(task, str):
+            continue
+        if record.kind == events.REQUEST_SUBMIT:
+            task_summary(task).submits += 1
+        elif record.kind == events.REQUEST_COMPLETE:
+            summary = task_summary(task)
+            summary.completes += 1
+            latency = payload.get("latency_us")
+            if isinstance(latency, (int, float)):
+                summary.latency_sum_us += latency
+                summary.latency_count += 1
+        elif record.kind == events.REQUEST_ABORTED:
+            task_summary(task).aborts += 1
+        elif record.kind == events.FAULT:
+            task_summary(task).faults += 1
+        elif record.kind == events.DENIAL:
+            task_summary(task).denials += 1
+        elif record.kind == events.SAMPLE_WINDOW_END:
+            summary = task_summary(task)
+            observed = payload.get("observed")
+            if isinstance(observed, int):
+                summary.samples += observed
+        elif record.kind == events.TASK_KILLED:
+            task_summary(task).killed = True
+        elif record.kind == events.TASK_EXIT:
+            task_summary(task).exited = True
+        elif record.kind in (events.CHANNEL_ENGAGED, events.CHANNEL_DISENGAGED):
+            channel_id = payload.get("channel")
+            replay = channels.get(channel_id)
+            engaged = record.kind == events.CHANNEL_ENGAGED
+            if replay is not None and replay.engaged != engaged:
+                replay.settle(record.time)
+                replay.engaged = engaged
+
+    for channel_id in sorted(channels):
+        channels[channel_id].settle(end_us)
+
+    return TraceSummary(
+        span_us=trace.span_us,
+        records=len(trace),
+        dropped=trace.dropped,
+        kind_counts=trace.kind_counts(),
+        tasks=dict(sorted(tasks.items())),
+        breakdown=overhead_breakdown(trace, end_us=end_us),
+    )
+
+
+def diff_counts(
+    left: TraceRecorder, right: TraceRecorder
+) -> dict[str, tuple[int, int]]:
+    """Per-kind record counts that differ between two traces."""
+    left_counts = left.kind_counts()
+    right_counts = right.kind_counts()
+    out: dict[str, tuple[int, int]] = {}
+    for kind in sorted(set(left_counts) | set(right_counts)):
+        left_value = left_counts.get(kind, 0)
+        right_value = right_counts.get(kind, 0)
+        if left_value != right_value:
+            out[kind] = (left_value, right_value)
+    return out
+
+
+def diff_tasks(
+    left: TraceSummary, right: TraceSummary
+) -> dict[str, dict[str, tuple[float, float]]]:
+    """Per-task metric pairs that differ between two summaries."""
+    fields = (
+        "submits", "completes", "aborts", "faults", "denials",
+        "engaged_us", "disengaged_us",
+    )
+    out: dict[str, dict[str, tuple[float, float]]] = {}
+    for task in sorted(set(left.tasks) | set(right.tasks)):
+        left_task = left.tasks.get(task) or TaskSummary(task)
+        right_task = right.tasks.get(task) or TaskSummary(task)
+        deltas: dict[str, tuple[float, float]] = {}
+        for name in fields:
+            left_value = getattr(left_task, name)
+            right_value = getattr(right_task, name)
+            if left_value != right_value:
+                deltas[name] = (left_value, right_value)
+        if deltas:
+            out[task] = deltas
+    return out

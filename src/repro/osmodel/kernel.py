@@ -20,6 +20,8 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.errors import OutOfResourcesError
 from repro.neon.discovery import ChannelDiscovery
+from repro.obs import events
+from repro.obs.metrics import MetricsRegistry
 from repro.osmodel.costs import CostParams
 from repro.osmodel.cpu import CpuPool
 from repro.osmodel.polling import PollingService
@@ -95,12 +97,16 @@ class Kernel:
         trace: Optional[TraceRecorder] = None,
         quota: Optional[ChannelQuotaPolicy] = None,
         memory_quota: Optional["MemoryQuotaPolicy"] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.device = device
         self.costs = costs or CostParams()
         self.costs.validate()
         self.trace = trace if trace is not None else NullRecorder()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Resolved once: the fault path runs per intercepted request.
+        self._faults = self.metrics.counter("faults")
         self.quota = quota
         self.memory_quota = memory_quota
         self.cpu: Optional[CpuPool] = (
@@ -142,7 +148,9 @@ class Kernel:
             self.device.kill_context(context)
         if self.scheduler is not None:
             self.scheduler.on_task_exit(task)
-        self.trace.emit(self.sim.now, "kernel", "task_exit", task=task.name)
+        if self.trace.enabled:
+            self.trace.emit(self.sim.now, "kernel", events.TASK_EXIT,
+                            task=task.name)
 
     def kill_task(self, task: Task, reason: str) -> None:
         """Protective kill (Section 3.1): terminate the OS process and let
@@ -157,9 +165,12 @@ class Kernel:
             task.process.kill(reason)
         if self.scheduler is not None:
             self.scheduler.on_task_exit(task)
-        self.trace.emit(
-            self.sim.now, "kernel", "task_killed", task=task.name, reason=reason
-        )
+        self.metrics.inc("task_kills", task.name)
+        if self.trace.enabled:
+            self.trace.emit(
+                self.sim.now, "kernel", events.TASK_KILLED,
+                task=task.name, reason=reason,
+            )
 
     # ------------------------------------------------------------------
     # Setup syscalls (the ioctl/mmap path of Figure 1)
@@ -251,6 +262,12 @@ class Kernel:
             self.fault_count_by_task[task.task_id] = (
                 self.fault_count_by_task.get(task.task_id, 0) + 1
             )
+            self._faults.inc(task.name)
+            if self.trace.enabled:
+                self.trace.emit(
+                    self.sim.now, "kernel", events.FAULT,
+                    task=task.name, channel=channel.channel_id, ref=request.ref,
+                )
             yield from self.cpu_time(
                 self.costs.trap_us + self.costs.fault_handle_us, task.name
             )

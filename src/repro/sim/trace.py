@@ -2,14 +2,32 @@
 
 Components emit :class:`TraceRecord` entries (time, source, kind, payload)
 into a shared :class:`TraceRecorder`.  Traces power the CDF analyses of
-Figure 2 and are invaluable when debugging scheduler interleavings.
-Recording is cheap and can be filtered by kind to bound memory.
+Figure 2, the observability subsystem (:mod:`repro.obs`), and are
+invaluable when debugging scheduler interleavings.
+
+Recording is cheap and bounded:
+
+* a *kind filter* drops uninteresting records at emission time;
+* a *ring-buffer cap* (``max_records``) evicts the oldest records once
+  the buffer is full, counting evictions in :attr:`TraceRecorder.dropped`
+  so analyses know the trace is partial;
+* the :attr:`TraceRecorder.enabled` flag lets hot paths skip payload
+  construction entirely when tracing is off (:class:`NullRecorder`).
+
+Event *kinds* are typed constants registered in :mod:`repro.obs.events`;
+neonlint rule NEON401/NEON402 rejects emit sites using unregistered
+string literals.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Optional
+
+#: Default ring-buffer capacity used by tracing entry points that record
+#: every kind (the ``repro trace`` CLI, ``build_env(trace=...)`` helpers).
+DEFAULT_TRACE_CAP = 1_000_000
 
 
 @dataclass(frozen=True)
@@ -23,43 +41,113 @@ class TraceRecord:
 
 
 class TraceRecorder:
-    """Append-only store of trace records with simple querying.
+    """Bounded store of trace records with simple querying.
 
     Parameters
     ----------
     kinds:
         If given, only records whose ``kind`` is in this set are kept;
-        everything else is dropped at emission time.
+        everything else is dropped at emission time (not counted as
+        *dropped* — they were never wanted).
+    max_records:
+        Ring-buffer capacity.  Once full, each new record evicts the
+        oldest one and bumps :attr:`dropped`.  ``None`` (the default)
+        keeps every record — callers recording long runs should pass a
+        cap (the observability CLI defaults to
+        :data:`DEFAULT_TRACE_CAP`).
     """
 
-    def __init__(self, kinds: Optional[Iterable[str]] = None) -> None:
-        self._records: list[TraceRecord] = []
+    def __init__(
+        self,
+        kinds: Optional[Iterable[str]] = None,
+        max_records: Optional[int] = None,
+    ) -> None:
+        if max_records is not None and max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        self._records: deque[TraceRecord] = deque(maxlen=max_records)
         self._kinds: Optional[frozenset[str]] = (
             frozenset(kinds) if kinds is not None else None
         )
+        #: Records evicted by the ring buffer (oldest-first), NOT records
+        #: rejected by the kind filter.
+        self.dropped = 0
+        #: Hot paths may consult this before building an expensive
+        #: payload; :class:`NullRecorder` sets it False.
+        self.enabled = True
+
+    @property
+    def max_records(self) -> Optional[int]:
+        return self._records.maxlen
 
     def emit(self, time: float, source: str, kind: str, **payload: Any) -> None:
         """Record an event if its kind passes the filter."""
         if self._kinds is not None and kind not in self._kinds:
             return
-        self._records.append(TraceRecord(time, source, kind, payload))
+        records = self._records
+        if records.maxlen is not None and len(records) == records.maxlen:
+            self.dropped += 1
+        records.append(TraceRecord(time, source, kind, payload))
+
+    def append(self, record: TraceRecord) -> None:
+        """Insert an existing record (trace import path); same bounds."""
+        if self._kinds is not None and record.kind not in self._kinds:
+            return
+        records = self._records
+        if records.maxlen is not None and len(records) == records.maxlen:
+            self.dropped += 1
+        records.append(record)
 
     def records(
-        self, kind: Optional[str] = None, source: Optional[str] = None
+        self,
+        kind: Optional[str] = None,
+        source: Optional[str] = None,
+        kinds: Optional[Iterable[str]] = None,
+        start_us: Optional[float] = None,
+        end_us: Optional[float] = None,
     ) -> Iterator[TraceRecord]:
-        """Iterate records, optionally filtered by kind and/or source."""
+        """Iterate records, optionally filtered.
+
+        ``kind`` matches one kind exactly; ``kinds`` matches any of a
+        set; ``source`` matches the emitting component; ``start_us`` /
+        ``end_us`` bound the (inclusive) time window.  Lazy, so large
+        traces can be scanned without materializing copies.
+        """
+        wanted: Optional[frozenset[str]] = None
+        if kinds is not None:
+            wanted = frozenset(kinds)
         for record in self._records:
             if kind is not None and record.kind != kind:
                 continue
+            if wanted is not None and record.kind not in wanted:
+                continue
             if source is not None and record.source != source:
                 continue
+            if start_us is not None and record.time < start_us:
+                continue
+            if end_us is not None and record.time > end_us:
+                continue
             yield record
+
+    def kind_counts(self) -> dict[str, int]:
+        """Record count per kind, sorted by kind name."""
+        counts: dict[str, int] = {}
+        for record in self._records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def span_us(self) -> tuple[float, float]:
+        """(first, last) record time; (0, 0) when empty."""
+        if not self._records:
+            return (0.0, 0.0)
+        return (self._records[0].time, self._records[-1].time)
 
     def __len__(self) -> int:
         return len(self._records)
 
     def clear(self) -> None:
         self._records.clear()
+        self.dropped = 0
 
 
 class NullRecorder(TraceRecorder):
@@ -67,6 +155,7 @@ class NullRecorder(TraceRecorder):
 
     def __init__(self) -> None:
         super().__init__(kinds=())
+        self.enabled = False
 
     def emit(self, time: float, source: str, kind: str, **payload: Any) -> None:
         return

@@ -75,6 +75,9 @@ class Config:
     generator_methods: tuple[str, ...] = ("drain", "scan_channel")
     #: Bulk engagement methods whose flip count must be charged (NEON303).
     flip_methods: tuple[str, ...] = ("engage_all", "engage_task", "disengage_task")
+    #: Module prefixes whose ``trace.emit`` kinds must be registered
+    #: constants (NEON401/NEON402); tests and scratch code stay free.
+    trace_emit_modules: tuple[str, ...] = ("repro",)
     #: File allowlist entries: ``path-suffix:line:RULE`` (line may be ``*``).
     allow: tuple[str, ...] = ()
 
@@ -89,6 +92,9 @@ class Config:
 
     def is_host_clock_module(self, module: str) -> bool:
         return _has_prefix(module, self.host_clock_modules)
+
+    def is_trace_emit_module(self, module: str) -> bool:
+        return _has_prefix(module, self.trace_emit_modules)
 
     def allowlisted(self, path: Path, line: int, rule_id: str) -> bool:
         """True when a config-file allow entry covers this violation."""
@@ -120,6 +126,7 @@ _TUPLE_FIELDS = (
     "host_clock_modules",
     "generator_methods",
     "flip_methods",
+    "trace_emit_modules",
     "allow",
 )
 

@@ -10,6 +10,7 @@ from typing import TYPE_CHECKING
 
 from repro.staticcheck.rules.boundary import BoundaryChecker
 from repro.staticcheck.rules.determinism import DeterminismChecker
+from repro.staticcheck.rules.events import EventKindChecker
 from repro.staticcheck.rules.generators import GeneratorChecker
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -27,9 +28,11 @@ RULES: dict[str, str] = {
     "NEON301": "virtual-time generator called but discarded (missing yield from)",
     "NEON302": "generator yielded as an object (yield instead of yield from)",
     "NEON303": "engagement flip count discarded (page-flip cost never charged)",
+    "NEON401": "trace.emit called with a string-literal event kind",
+    "NEON402": "trace.emit kind constant not registered in repro.obs.events",
 }
 
-_CHECKERS = (BoundaryChecker, DeterminismChecker, GeneratorChecker)
+_CHECKERS = (BoundaryChecker, DeterminismChecker, EventKindChecker, GeneratorChecker)
 
 
 def build_checkers(config: "Config"):

@@ -1,0 +1,122 @@
+"""Trace-event rules (NEON4xx) — the typed event-kind registry.
+
+Every ``trace.emit(...)`` call site in simulation code must name its event
+kind through a constant registered in :mod:`repro.obs.events`; the
+registry is the single source of truth for what a trace can contain, so
+analysis tooling (``repro trace``, the overhead reconstruction) never
+meets a kind it does not know.
+
+* **NEON401** — the kind argument is a string literal
+  (``trace.emit(now, src, "fault")``).  Literals drift: a typo records
+  an orphan kind that every consumer silently ignores.
+* **NEON402** — the kind argument is an identifier, but not one of the
+  registered constants exported by ``repro.obs.events``
+  (``events.FAULT`` passes; a constant defined elsewhere does not).
+
+Only receivers named ``trace`` are checked (``self.trace.emit``,
+``self.kernel.trace.emit``, a local ``trace = ...`` alias), and only in
+modules under ``trace_emit_modules`` — test doubles and out-of-tree
+recorders stay free.  Conditional kinds (``A if aborted else B``) are
+checked on both branches.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.obs.events import constant_names
+from repro.staticcheck.core import ModuleContext, Violation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.staticcheck.config import Config
+
+#: Receiver terminal name that marks a trace-recorder emit call.
+_RECEIVER = "trace"
+#: Position of the kind argument in ``emit(time, source, kind, ...)``.
+_KIND_ARG_INDEX = 2
+
+
+def _receiver_name(func: ast.expr) -> Optional[str]:
+    """Terminal name of an ``emit`` call's receiver, if any.
+
+    ``trace.emit`` → ``trace``; ``self.kernel.trace.emit`` → ``trace``.
+    """
+    if not isinstance(func, ast.Attribute) or func.attr != "emit":
+        return None
+    receiver = func.value
+    if isinstance(receiver, ast.Name):
+        return receiver.id
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr
+    return None
+
+
+def _kind_argument(call: ast.Call) -> Optional[ast.expr]:
+    for keyword in call.keywords:
+        if keyword.arg == "kind":
+            return keyword.value
+    if len(call.args) > _KIND_ARG_INDEX:
+        arg = call.args[_KIND_ARG_INDEX]
+        if isinstance(arg, ast.Starred):
+            return None
+        return arg
+    return None
+
+
+class EventKindChecker:
+    """NEON401 (literal kinds) and NEON402 (unregistered constants)."""
+
+    rule_ids = ("NEON401", "NEON402")
+
+    def __init__(self) -> None:
+        self._registered = constant_names()
+
+    def check(self, ctx: ModuleContext, config: "Config") -> Iterator[Violation]:
+        if not config.is_trace_emit_module(ctx.module):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _receiver_name(node.func) != _RECEIVER:
+                continue
+            kind = _kind_argument(node)
+            if kind is None:
+                continue
+            yield from self._check_kind(ctx, kind)
+
+    def _check_kind(
+        self, ctx: ModuleContext, kind: ast.expr
+    ) -> Iterator[Violation]:
+        if isinstance(kind, ast.IfExp):
+            yield from self._check_kind(ctx, kind.body)
+            yield from self._check_kind(ctx, kind.orelse)
+            return
+        if isinstance(kind, ast.Constant) and isinstance(kind.value, str):
+            yield Violation(
+                path=str(ctx.path),
+                line=kind.lineno,
+                col=kind.col_offset,
+                rule_id="NEON401",
+                message=(
+                    f"string-literal event kind {kind.value!r}; use a "
+                    "registered constant from repro.obs.events instead"
+                ),
+            )
+            return
+        name: Optional[str] = None
+        if isinstance(kind, ast.Name):
+            name = kind.id
+        elif isinstance(kind, ast.Attribute):
+            name = kind.attr
+        if name is not None and name not in self._registered:
+            yield Violation(
+                path=str(ctx.path),
+                line=kind.lineno,
+                col=kind.col_offset,
+                rule_id="NEON402",
+                message=(
+                    f"event kind constant '{name}' is not registered in "
+                    "repro.obs.events; register it with register_event_kind"
+                ),
+            )

@@ -1,0 +1,25 @@
+"""Shared fixtures: one traced DFQ run reused across the obs test suite."""
+
+import pytest
+
+from repro.experiments.runner import build_env, run_workloads
+from repro.sim.trace import TraceRecorder
+from repro.workloads.apps import make_app
+
+#: Short but nontrivial: several engagement episodes, a denial or two.
+DURATION_US = 200_000.0
+
+
+def traced_run(scheduler="dfq", apps=("glxgears", "BitonicSort"), seed=0,
+               duration_us=DURATION_US, max_records=None):
+    """Run a small simulation with tracing on; returns (env, trace, results)."""
+    trace = TraceRecorder(max_records=max_records)
+    env = build_env(scheduler, seed=seed, trace=trace)
+    workloads = [make_app(name) for name in apps]
+    results = run_workloads(env, workloads, duration_us=duration_us)
+    return env, trace, results
+
+
+@pytest.fixture(scope="module")
+def dfq_run():
+    return traced_run()

@@ -1,0 +1,101 @@
+"""Counters, histograms, and the registry's task view."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+
+
+def test_counter_increments_per_label():
+    counter = Counter("faults")
+    counter.inc("a")
+    counter.inc("a", 2.0)
+    counter.inc("b")
+    assert counter.value("a") == 3.0
+    assert counter.value("b") == 1.0
+    assert counter.value("missing") == 0.0
+    assert counter.total == 4.0
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter("x").inc("a", -1.0)
+
+
+def test_counter_snapshot_sorted():
+    counter = Counter("x")
+    counter.inc("zeta")
+    counter.inc("alpha")
+    assert list(counter.snapshot()) == ["alpha", "zeta"]
+
+
+def test_histogram_stats():
+    histogram = Histogram("lat", buckets=(10.0, 100.0, 1000.0))
+    for value in (5.0, 50.0, 500.0, 5000.0):
+        histogram.observe("t", value)
+    assert histogram.count("t") == 4
+    assert histogram.mean("t") == pytest.approx(1388.75)
+    snapshot = histogram.snapshot()["t"]
+    assert snapshot["count"] == 4
+    assert snapshot["min"] == 5.0
+    assert snapshot["max"] == 5000.0
+    assert snapshot["buckets"] == [1, 1, 1, 1]  # one per bucket + overflow
+
+
+def test_histogram_quantile_bucket_resolution():
+    histogram = Histogram("lat", buckets=(10.0, 100.0))
+    for _ in range(9):
+        histogram.observe("t", 5.0)
+    histogram.observe("t", 50.0)
+    assert histogram.quantile("t", 0.5) == 10.0
+    assert histogram.quantile("t", 1.0) == 100.0
+    histogram.observe("t", 1e9)
+    assert histogram.quantile("t", 1.0) == float("inf")
+    assert histogram.quantile("t", 0.5) == 10.0
+    assert histogram.mean("missing") is None
+    assert histogram.quantile("missing", 0.5) is None
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(ValueError):
+        Histogram("x", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("x", buckets=(10.0, 5.0))
+    with pytest.raises(ValueError):
+        Histogram("x", buckets=(10.0,)).quantile("t", 1.5)
+
+
+def test_registry_reuses_instruments():
+    registry = MetricsRegistry()
+    assert registry.counter("faults") is registry.counter("faults")
+    assert registry.histogram("lat") is registry.histogram("lat")
+    registry.inc("faults", "a")
+    registry.inc("faults", "a")
+    assert registry.counter("faults").value("a") == 2.0
+
+
+def test_registry_snapshot_shape():
+    registry = MetricsRegistry()
+    registry.inc("faults", "a")
+    registry.observe("lat", "a", 42.0)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["faults"] == {"a": 1.0}
+    assert snapshot["histograms"]["lat"]["labels"]["a"]["count"] == 1
+    # Snapshot must be JSON-able as-is.
+    import json
+
+    json.dumps(snapshot)
+
+
+def test_task_view_flat_and_uniform():
+    registry = MetricsRegistry()
+    registry.inc("faults", "a", 3.0)
+    registry.observe("lat", "a", 100.0)
+    view_a = registry.task_view("a")
+    assert view_a["faults"] == 3.0
+    assert view_a["lat_count"] == 1.0
+    assert view_a["lat_mean"] == 100.0
+    assert view_a["lat_p95"] > 0.0
+    # A task with no data gets the same keys, all zeros.
+    view_b = registry.task_view("b")
+    assert set(view_b) == set(view_a)
+    assert all(value == 0.0 for value in view_b.values())

@@ -1,0 +1,62 @@
+"""The tentpole invariant: the trace alone reproduces the scheduler's
+live ``time_breakdown`` overhead accounting."""
+
+import pytest
+
+from repro.obs.overhead import BREAKDOWN_KEYS, overhead_breakdown, overhead_report
+from tests.obs.conftest import traced_run
+
+
+def test_trace_reproduces_live_breakdown_dfq(dfq_run):
+    env, trace, _results = dfq_run
+    derived = overhead_breakdown(trace, end_us=env.sim.now)
+    live = env.scheduler.time_breakdown
+    assert set(derived) == set(BREAKDOWN_KEYS)
+    for key in BREAKDOWN_KEYS:
+        assert derived[key] == pytest.approx(live[key]), key
+    # The run actually exercised every component of the breakdown.
+    assert all(derived[key] > 0 for key in BREAKDOWN_KEYS)
+
+
+def test_trace_reproduces_live_breakdown_dfq_hw():
+    env, trace, _results = traced_run(scheduler="dfq-hw")
+    derived = overhead_breakdown(trace, end_us=env.sim.now)
+    live = env.scheduler.time_breakdown
+    for key in BREAKDOWN_KEYS:
+        assert derived[key] == pytest.approx(live[key]), key
+
+
+def test_empty_trace_yields_zero_breakdown():
+    from repro.sim.trace import TraceRecorder
+
+    derived = overhead_breakdown(TraceRecorder())
+    assert derived == {key: 0.0 for key in BREAKDOWN_KEYS}
+
+
+def test_trailing_freerun_excluded():
+    from repro.obs import events
+    from repro.sim.trace import TraceRecorder
+
+    trace = TraceRecorder()
+    trace.emit(0.0, "dfq", events.BARRIER_BEGIN, episode=1)
+    trace.emit(10.0, "dfq", events.FREERUN_START,
+               allowed=1, denied=0, freerun_us=100.0)
+    # Run ends mid-free-run: the scheduled span must not be counted,
+    # matching the live accounting (which adds it only on completion).
+    partial = overhead_breakdown(trace, end_us=50.0)
+    assert partial["engagement_us"] == 10.0
+    assert partial["freerun_us"] == 0.0
+    complete = overhead_breakdown(trace, end_us=110.0)
+    assert complete["freerun_us"] == 100.0
+
+
+def test_overhead_report_lines(dfq_run):
+    env, trace, _results = dfq_run
+    breakdown = overhead_breakdown(trace, end_us=env.sim.now)
+    lines = overhead_report(breakdown, env.sim.now)
+    text = "\n".join(lines)
+    assert "engagement" in text
+    assert "drain wait" in text
+    assert "sampling" in text
+    assert "free-run" in text
+    assert "%" in text

@@ -1,0 +1,94 @@
+"""Trace summaries: counts, engagement replay, and diffs.
+
+The summary is reconstructed from the trace alone, so these tests
+cross-check it against the *other* observability paths — the metrics
+registry and the interception layer's engagement ledger — which observe
+the same run through independent hooks.
+"""
+
+import pytest
+
+from repro.obs.summary import TaskSummary, diff_counts, diff_tasks, summarize
+from tests.obs.conftest import traced_run
+
+
+def test_counts_match_metrics_registry(dfq_run):
+    env, trace, results = dfq_run
+    summary = summarize(trace, end_us=env.sim.now)
+    assert set(summary.tasks) == set(results)
+    for name, task in summary.tasks.items():
+        counters = env.metrics
+        assert task.submits == counters.counter("submits").value(name)
+        assert task.faults == counters.counter("faults").value(name)
+        assert task.denials == counters.counter("denials").value(name)
+        histogram = counters.histogram("request_latency_us")
+        assert task.latency_count == histogram.count(name)
+        if task.latency_count:
+            assert task.mean_latency_us == pytest.approx(histogram.mean(name))
+
+
+def test_counts_match_workload_results(dfq_run):
+    env, trace, results = dfq_run
+    summary = summarize(trace, end_us=env.sim.now)
+    for name, result in results.items():
+        task = summary.tasks[name]
+        assert task.faults == result.metrics["faults"]
+        assert task.submits == result.metrics["submits"]
+        assert task.engaged_us == pytest.approx(result.metrics["engaged_us"])
+        assert task.latency_count == result.metrics["request_latency_us_count"]
+
+
+def test_engagement_replay_matches_ledger(dfq_run):
+    env, trace, _results = dfq_run
+    summary = summarize(trace, end_us=env.sim.now)
+    ledger = env.scheduler.neon.engagement.snapshot(env.sim.now)
+    for name, task in summary.tasks.items():
+        expected = ledger.get(name)
+        assert expected is not None, name
+        assert task.engaged_us == pytest.approx(expected["engaged_us"]), name
+        assert task.disengaged_us == pytest.approx(
+            expected["disengaged_us"]), name
+        # DFQ keeps tasks disengaged most of the time — that's the point.
+        assert task.disengaged_us > task.engaged_us
+
+
+def test_summary_rollup_fields(dfq_run):
+    env, trace, _results = dfq_run
+    summary = summarize(trace, end_us=env.sim.now)
+    assert summary.records == len(trace)
+    assert summary.dropped == 0
+    assert summary.kind_counts == trace.kind_counts()
+    assert summary.span_us == trace.span_us
+    assert sum(summary.breakdown.values()) > 0
+
+
+def test_mean_latency_none_when_no_completions():
+    assert TaskSummary("idle").mean_latency_us is None
+
+
+def test_diff_same_trace_is_empty(dfq_run):
+    _env, trace, _results = dfq_run
+    assert diff_counts(trace, trace) == {}
+    summary = summarize(trace)
+    assert diff_tasks(summary, summary) == {}
+
+
+def test_diff_across_schedulers_reports_deltas(dfq_run):
+    _env, dfq_trace, _results = dfq_run
+    _env2, ts_trace, _results2 = traced_run(scheduler="timeslice",
+                                            duration_us=100_000.0)
+    count_deltas = diff_counts(dfq_trace, ts_trace)
+    assert count_deltas["barrier_begin"][1] == 0  # timeslice has no episodes
+    assert count_deltas["token_pass"][0] == 0  # dfq passes no tokens
+    task_deltas = diff_tasks(summarize(dfq_trace), summarize(ts_trace))
+    assert "glxgears" in task_deltas
+
+
+def test_diff_handles_disjoint_tasks(dfq_run):
+    _env, trace, _results = dfq_run
+    _env2, solo_trace, _results2 = traced_run(apps=("oclParticles",),
+                                              duration_us=100_000.0)
+    deltas = diff_tasks(summarize(trace), summarize(solo_trace))
+    # Tasks present on only one side diff against an empty summary.
+    assert "oclParticles" in deltas
+    assert "glxgears" in deltas

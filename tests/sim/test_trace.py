@@ -46,3 +46,67 @@ def test_records_are_frozen():
     assert record.source == "x"
     assert record.kind == "k"
     assert record.payload["a"] == 1
+
+
+def test_ring_buffer_caps_and_counts_drops():
+    recorder = TraceRecorder(max_records=3)
+    for i in range(5):
+        recorder.emit(float(i), "x", "k", i=i)
+    assert len(recorder) == 3
+    assert recorder.dropped == 2
+    # Oldest records were evicted: only the newest three remain.
+    assert [r.time for r in recorder.records()] == [2.0, 3.0, 4.0]
+
+
+def test_kind_filter_rejects_do_not_count_as_drops():
+    recorder = TraceRecorder(kinds=["keep"], max_records=2)
+    recorder.emit(1.0, "x", "drop")
+    recorder.emit(2.0, "x", "keep")
+    assert recorder.dropped == 0
+    recorder.emit(3.0, "x", "keep")
+    recorder.emit(4.0, "x", "keep")
+    assert recorder.dropped == 1
+
+
+def test_invalid_cap_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        TraceRecorder(max_records=0)
+
+
+def test_records_time_window_is_inclusive():
+    recorder = TraceRecorder()
+    for t in (1.0, 2.0, 3.0, 4.0):
+        recorder.emit(t, "x", "k")
+    window = [r.time for r in recorder.records(start_us=2.0, end_us=3.0)]
+    assert window == [2.0, 3.0]
+
+
+def test_records_kinds_filter():
+    recorder = TraceRecorder()
+    recorder.emit(1.0, "x", "a")
+    recorder.emit(2.0, "x", "b")
+    recorder.emit(3.0, "x", "c")
+    picked = [r.kind for r in recorder.records(kinds=("a", "c"))]
+    assert picked == ["a", "c"]
+
+
+def test_kind_counts_and_span():
+    recorder = TraceRecorder()
+    assert recorder.span_us == (0.0, 0.0)
+    recorder.emit(5.0, "x", "a")
+    recorder.emit(7.0, "x", "b")
+    recorder.emit(9.0, "x", "a")
+    assert recorder.kind_counts() == {"a": 2, "b": 1}
+    assert recorder.span_us == (5.0, 9.0)
+
+
+def test_clear_resets_dropped():
+    recorder = TraceRecorder(max_records=1)
+    recorder.emit(1.0, "x", "k")
+    recorder.emit(2.0, "x", "k")
+    assert recorder.dropped == 1
+    recorder.clear()
+    assert len(recorder) == 0
+    assert recorder.dropped == 0

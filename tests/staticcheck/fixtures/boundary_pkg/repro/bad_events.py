@@ -1,0 +1,23 @@
+"""Seeded NEON401/NEON402 violations (line numbers matter to the tests)."""
+
+from repro.obs import events
+
+
+def run(trace, sim, task):
+    trace.emit(sim.now, "kernel", "fault", task=task.name)  # NEON401
+    trace.emit(sim.now, "kernel", kind="task_exit")  # NEON401 (kwarg)
+    trace.emit(sim.now, "kernel", MY_PRIVATE_KIND, task=task.name)  # NEON402
+    trace.emit(sim.now, "kernel", events.NOT_A_KIND)  # NEON402
+    trace.emit(
+        sim.now,
+        "gpu",
+        events.REQUEST_ABORTED if task.dead else "request_complete",  # NEON401
+    )
+    trace.emit(sim.now, "kernel", "audited")  # neonlint: allow[NEON401] test
+
+
+def deep_receiver(self):
+    self.kernel.trace.emit(self.sim.now, "kernel", "fault")  # NEON401
+
+
+MY_PRIVATE_KIND = "my_private_kind"

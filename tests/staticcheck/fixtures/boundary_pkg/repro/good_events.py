@@ -1,0 +1,18 @@
+"""A module whose emit sites all use registered event-kind constants."""
+
+from repro.obs import events
+from repro.obs.events import FAULT
+
+
+def run(trace, sim, task, aborted):
+    trace.emit(sim.now, "kernel", events.FAULT, task=task.name)
+    trace.emit(sim.now, "kernel", FAULT, task=task.name)
+    trace.emit(sim.now, "kernel", kind=events.TASK_EXIT)
+    trace.emit(
+        sim.now,
+        "gpu",
+        events.REQUEST_ABORTED if aborted else events.REQUEST_COMPLETE,
+    )
+    # Not a trace recorder: other receivers are out of scope.
+    recorder = object()
+    recorder.emit(sim.now, "kernel", "anything_goes")

@@ -1,0 +1,57 @@
+"""Trace-event rules (NEON401/NEON402): positives, negatives, scoping."""
+
+from repro.obs.events import constant_names, registered_kinds
+from repro.staticcheck import Config, analyze_paths
+from repro.staticcheck.core import module_name_for
+
+from tests.staticcheck.conftest import rule_locations
+
+EVENTS_PKG_FILE = "bad_events.py"
+
+
+def events_pkg(fixtures):
+    return fixtures / "boundary_pkg" / "repro"
+
+
+def test_bad_events_fixture_flags_each_seeded_violation(fixtures):
+    violations = analyze_paths([events_pkg(fixtures) / "bad_events.py"], Config())
+    assert rule_locations(violations) == [
+        ("NEON401", 7),   # literal "fault"
+        ("NEON401", 8),   # literal kind= kwarg
+        ("NEON402", 9),   # MY_PRIVATE_KIND not registered
+        ("NEON402", 10),  # events.NOT_A_KIND not registered
+        ("NEON401", 14),  # literal branch of the conditional kind
+        ("NEON401", 20),  # deep receiver self.kernel.trace.emit
+    ]
+
+
+def test_pragma_grants_audited_exception(fixtures):
+    violations = analyze_paths([events_pkg(fixtures) / "bad_events.py"], Config())
+    # Line 17 uses a literal kind under ``# neonlint: allow[NEON401]``.
+    assert all(violation.line != 17 for violation in violations)
+
+
+def test_clean_events_module_passes(fixtures):
+    assert analyze_paths([events_pkg(fixtures) / "good_events.py"], Config()) == []
+
+
+def test_fixture_resolves_to_in_scope_module_name(fixtures):
+    module = module_name_for(events_pkg(fixtures) / "bad_events.py")
+    assert module == "repro.bad_events"
+    assert Config().is_trace_emit_module(module)
+
+
+def test_rules_scoped_to_configured_modules_only(fixtures):
+    # Out-of-scope modules (tests, scratch recorders) emit freely.
+    config = Config(trace_emit_modules=("somewhere.else",))
+    assert analyze_paths([events_pkg(fixtures) / "bad_events.py"], config) == []
+
+
+def test_registry_constants_cover_all_registered_kinds():
+    # Every registered kind is reachable through a module constant, so
+    # NEON402's "use a registered constant" advice is always satisfiable.
+    from repro.obs import events as events_module
+
+    names = constant_names()
+    values = {getattr(events_module, name) for name in names}
+    assert values == set(registered_kinds())
