@@ -10,6 +10,12 @@ Three attacks from the paper, and what each scheduler/policy does:
 3. a channel hog that opens contexts until the device is exhausted —
    stopped by the channel quota policy.
 
+Plus a fourth the paper could not run: the *device itself* misbehaves.
+A fault plan (repro.faults) stalls one task's reference-counter writes;
+the drain watchdog tells the faulty observations apart from a genuine
+runaway, recovers via backed-off retries, and never kills the innocent
+bystander.
+
 Run:  python examples/adversarial_protection.py
 """
 
@@ -17,6 +23,8 @@ from repro import (
     ChannelHog,
     ChannelQuotaPolicy,
     CostParams,
+    FaultPlan,
+    FaultSpec,
     GreedyBatcher,
     InfiniteKernel,
     Throttle,
@@ -24,6 +32,7 @@ from repro import (
     make_app,
     run_workloads,
 )
+from repro.faults import registry as fault_points
 from repro.metrics.tables import format_table
 
 
@@ -102,7 +111,60 @@ def channel_dos_attack() -> None:
     )
 
 
+def injected_device_fault() -> None:
+    # The device stalls "victim"'s completion visibility twice for 40 ms
+    # each — longer than the 25 ms drain deadline, so every stall looks
+    # like a hung request.  The watchdog attributes, retries, recovers.
+    costs = CostParams()
+    costs.max_request_us = 25_000.0
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(
+                point=fault_points.GPU_REFCOUNTER_STALL,
+                start_us=50_000.0,
+                magnitude_us=40_000.0,
+                count=2,
+                target_task="victim",
+            ),
+        ),
+        seed=7,
+        name="refstall",
+    )
+    rows = []
+    for fault_plan in (None, plan):
+        env = build_env("dfq", costs=costs, seed=0, fault_plan=fault_plan)
+        victim = Throttle(800.0, name="victim")
+        bystander = Throttle(800.0, name="bystander")
+        results = run_workloads(env, [victim, bystander], 300_000.0, 50_000.0)
+        metrics = results["victim"].metrics
+        rows.append(
+            [
+                plan.name if fault_plan else "none",
+                int(metrics.get("faults_injected", 0)),
+                int(metrics.get("fault_detections", 0)),
+                int(metrics.get("fault_recoveries", 0)),
+                results["victim"].killed,
+                results["bystander"].killed,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "fault plan",
+                "injected",
+                "detected",
+                "recovered",
+                "victim killed",
+                "bystander killed",
+            ],
+            rows,
+            title="\n4. Faulty device (stalled refcounter) vs the drain watchdog",
+        )
+    )
+
+
 if __name__ == "__main__":
     infinite_loop_attack()
     greedy_batcher_attack()
     channel_dos_attack()
+    injected_device_fault()

@@ -37,6 +37,7 @@ from repro.experiments.runner import (
     run_workloads,
     solo_baseline,
 )
+from repro.faults import FaultPlan, FaultSpec, Injector
 from repro.gpu import GpuDevice, GpuParams, Request, RequestKind
 from repro.osmodel import (
     ChannelQuotaPolicy,
@@ -71,10 +72,13 @@ __all__ = [
     "DisengagedFairQueueingHW",
     "DisengagedTimeslice",
     "EngagedFairQueueing",
+    "FaultPlan",
+    "FaultSpec",
     "GpuDevice",
     "GpuParams",
     "GreedyBatcher",
     "InfiniteKernel",
+    "Injector",
     "Kernel",
     "MemoryHog",
     "MemoryQuotaPolicy",

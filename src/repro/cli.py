@@ -158,6 +158,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.obs.cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        # And the fault-injection chaos matrix (matrix/run/plans); it is
+        # deliberately not part of EXPERIMENTS so ``repro all`` output
+        # stays byte-identical with the fault subsystem merged.
+        from repro.experiments.chaos import cli_main as chaos_main
+
+        return chaos_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, (_, description) in EXPERIMENTS.items():

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional, Type
 
+from repro.core.hardening import DrainWatchdog
 from repro.neon.interception import InterceptionManager
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -53,6 +54,8 @@ class SchedulerBase:
         self.sim = kernel.sim
         self.costs = kernel.costs
         self.neon = InterceptionManager(kernel)
+        #: Drain supervision (retry/degrade/kill); see repro.core.hardening.
+        self.watchdog = DrainWatchdog(self)
         self.setup()
 
     def setup(self) -> None:

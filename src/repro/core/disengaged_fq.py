@@ -328,11 +328,15 @@ class DisengagedFairQueueing(SchedulerBase):
         for channel in self.neon.live_channels():
             self.neon.mark_engagement(channel)
 
-        # 6. Free run.
+        # 6. Free run.  Quarantined tasks (watchdog degradation) keep
+        # their pages protected regardless of the fairness decision.
         self._phase = "freerun"
         flips = 0
         for task in self.managed_tasks:
             if task.alive and task.task_id in self._allowed:
+                if self.watchdog.is_quarantined(task):
+                    self._allowed.discard(task.task_id)
+                    continue
                 flips += self.neon.disengage_task(task)
         yield self.neon.flip_cost(flips)
         for task in self.managed_tasks:
@@ -352,30 +356,15 @@ class DisengagedFairQueueing(SchedulerBase):
         self.time_breakdown["freerun_us"] += self._last_freerun_us
 
     def _drain_all(self):
-        # A stuck drain means some request exceeded the documented limit.
-        # Identify the culprit (the currently running context, §6.2), kill
-        # it, and drain again — queued victims behind it must survive.
-        for _ in range(len(self.managed_tasks) + 1):
-            result = yield from self.neon.drain(
-                timeout_us=self.costs.max_request_us
-            )
-            self.time_breakdown["drain_wait_us"] += result.waited_us
-            if result.drained:
-                return
-            culprit = self.neon.identify_running_task()
-            if culprit is None or not culprit.alive:
-                # No attributable context; fall back to killing everything
-                # still holding unfinished work.  Kill order is sorted so
-                # trajectories stay reproducible (neonlint NEON204).
-                offenders = {channel.task for channel in result.offenders}
-                for task in sorted(offenders, key=lambda task: task.task_id):
-                    self.kernel.kill_task(
-                        task, "request exceeded the documented maximum run time"
-                    )
-                return
-            self.kernel.kill_task(
-                culprit, "request exceeded the documented maximum run time"
-            )
+        # A stuck drain means some request exceeded the documented limit
+        # — or, under injected faults, that the drain's observations lie.
+        # The watchdog kills an attributable running culprit immediately
+        # (and drains again so queued victims behind it survive), and
+        # walks the retry/degrade/kill ladder for unattributable stalls.
+        yield from self.watchdog.drain_all(self._charge_drain_wait)
+
+    def _charge_drain_wait(self, waited_us: float) -> None:
+        self.time_breakdown["drain_wait_us"] += waited_us
 
     def _detect_activity(self) -> dict[int, bool]:
         """Which tasks submitted work since the last engagement mark.
@@ -452,16 +441,11 @@ class DisengagedFairQueueing(SchedulerBase):
         self._window = None
         poller.kill()
 
-        # Drain the sampled task so the next window is exclusive too.
+        # Drain the sampled task so the next window is exclusive too; the
+        # watchdog kills a genuine runaway and rides out injected stalls.
         channels = self.neon.channels_of(task)
         if channels:
-            result = yield from self.neon.drain(
-                channels, timeout_us=self.costs.max_request_us
-            )
-            if not result.drained:
-                self.kernel.kill_task(
-                    task, "request exceeded the documented maximum run time"
-                )
+            yield from self.watchdog.drain_task(task, channels)
         if trace.enabled:
             trace.emit(
                 self.sim.now, self.name, events.SAMPLE_WINDOW_END,

@@ -1,0 +1,252 @@
+"""Scheduler hardening: the drain watchdog.
+
+The paper's schedulers already contain one protection reflex — a drain
+that outlives ``max_request_us`` kills the runaway (Section 3.1).  That
+reflex assumes the device itself is honest: reference counters advance
+when work finishes, the polling thread runs on time, scans return
+current values.  Fault injection (:mod:`repro.faults`) breaks exactly
+those assumptions, and a scheduler that answers every contradictory
+observation with a kill would execute well-behaved tasks for the
+device's sins.
+
+The :class:`DrainWatchdog` wraps every drain the TS/DTS/DFQ schedulers
+perform and applies an escalation ladder driven *only* by information
+observable through the interception interface:
+
+1. **Attribute.**  A timed-out drain whose stuck work is attributable —
+   the engine is currently executing a request of the very task being
+   drained (:meth:`~repro.neon.interception.InterceptionManager.identify_running_task`,
+   the documented §6.2 query) — is a genuine runaway: the culprit is
+   killed immediately, byte-for-byte the pre-watchdog behavior.
+2. **Retry.**  An *unattributable* timeout (the engine is idle or busy
+   with someone else, yet counters claim outstanding work) can only mean
+   the observations are wrong — a stalled counter write, a late polling
+   pass, a stale scan.  The drain is retried up to
+   ``costs.watchdog_max_retries`` times with the timeout multiplied by
+   ``costs.watchdog_backoff`` each attempt; a retry that completes is a
+   recovery.
+3. **Degrade.**  When retries are exhausted, the offending task is
+   quarantined: its channels are (re-)engaged and the scheduler keeps
+   them engaged — every future submission is intercepted — instead of
+   trusting the channel's counters again.  The episode settles without a
+   full drain; the system stays live.
+4. **Escalate.**  A task whose channels are still undrainable after a
+   quarantined episode is killed — bounded misbehavior, guaranteed
+   termination.
+
+With no fault plan installed steps 2–4 are unreachable (an honest
+timeout always has a running culprit on the drained channels), so
+hardened schedulers replay identical trajectories — the same zero-cost
+contract as tracing and injection.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.neon.barrier import DrainResult
+from repro.obs import events
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.base import SchedulerBase
+    from repro.gpu.channel import Channel
+    from repro.osmodel.task import Task
+
+#: Kill reason used by the pre-watchdog schedulers; the attributed
+#: first-timeout kill keeps it so no-fault trajectories are unchanged.
+RUNAWAY_REASON = "request exceeded the documented maximum run time"
+
+#: Kill reason for the end of the escalation ladder.
+UNRESPONSIVE_REASON = "channel unresponsive after watchdog retries"
+
+
+class DrainWatchdog:
+    """Bounded retry/degrade/kill supervision of scheduler drains."""
+
+    def __init__(self, scheduler: "SchedulerBase") -> None:
+        self.scheduler = scheduler
+        self.kernel = scheduler.kernel
+        self.sim = scheduler.sim
+        self.neon = scheduler.neon
+        self.costs = scheduler.costs
+        #: Task ids currently degraded to engaged mode (strike one).
+        self._quarantined: set[int] = set()
+        self.detections = 0
+        self.recoveries = 0
+        self.escalations = 0
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    # Scheduler queries
+    # ------------------------------------------------------------------
+    def is_quarantined(self, task: "Task") -> bool:
+        """Whether the task has been degraded to always-engaged mode."""
+        return task.task_id in self._quarantined
+
+    # ------------------------------------------------------------------
+    # Event/metric plumbing
+    # ------------------------------------------------------------------
+    @property
+    def _source(self) -> str:
+        return f"{self.scheduler.name}.watchdog"
+
+    def _detect(self, task: "Task", waited_us: float) -> None:
+        self.detections += 1
+        self.kernel.metrics.inc("fault_detections", task.name)
+        trace = self.kernel.trace
+        if trace.enabled:
+            trace.emit(self.sim.now, self._source, events.FAULT_DETECTED,
+                       task=task.name, waited_us=waited_us)
+
+    def _recover(self, task: "Task", action: str) -> None:
+        self.recoveries += 1
+        self.kernel.metrics.inc("fault_recoveries", task.name)
+        trace = self.kernel.trace
+        if trace.enabled:
+            trace.emit(self.sim.now, self._source, events.FAULT_RECOVERED,
+                       task=task.name, action=action)
+
+    def _escalate(self, task: "Task", reason: str) -> None:
+        self.escalations += 1
+        self.kernel.metrics.inc("fault_escalations", task.name)
+        trace = self.kernel.trace
+        if trace.enabled:
+            trace.emit(self.sim.now, self._source, events.FAULT_ESCALATED,
+                       task=task.name, reason=reason)
+        self.kernel.kill_task(task, reason)
+
+    # ------------------------------------------------------------------
+    # Supervised drains
+    # ------------------------------------------------------------------
+    def drain_task(
+        self,
+        task: "Task",
+        channels: list["Channel"],
+        charge_wait: Optional[Callable[[float], None]] = None,
+    ):
+        """Drain one task's channels under supervision (a generator).
+
+        Returns a :class:`~repro.neon.barrier.DrainResult`; callers treat
+        ``result.drained`` exactly as before.  Kills, retries, and
+        quarantines happen inside.
+        """
+        result = yield from self._drain_once(channels, None, charge_wait)
+        if result.drained:
+            return result
+        culprit = self.neon.identify_running_task()
+        if culprit is task and task.alive:
+            # The drained task's own request is still holding the engine
+            # past the documented limit: a genuine runaway.
+            self._detect(task, result.waited_us)
+            self._escalate(task, RUNAWAY_REASON)
+            return result
+        # The counters claim outstanding work but the engine is not
+        # running this task: contradictory observations — retry, then
+        # degrade/escalate.
+        self._detect(task, result.waited_us)
+        result = yield from self._retry([task], channels, charge_wait)
+        if result.drained:
+            self._recover(task, "retry")
+            return result
+        yield from self._degrade_or_escalate([task])
+        return result
+
+    def drain_all(
+        self, charge_wait: Optional[Callable[[float], None]] = None
+    ):
+        """Drain every live channel under supervision (a generator).
+
+        Replicates the pre-watchdog Disengaged Fair Queueing loop for the
+        attributable case — kill the running culprit and drain again so
+        queued victims behind it survive — and applies the retry/degrade
+        ladder when a timeout cannot be attributed to any running task.
+        """
+        for _ in range(len(self.scheduler.managed_tasks) + 1):
+            result = yield from self._drain_once(None, None, charge_wait)
+            if result.drained:
+                return
+            culprit = self.neon.identify_running_task()
+            if culprit is not None and culprit.alive:
+                self._detect(culprit, result.waited_us)
+                self._escalate(culprit, RUNAWAY_REASON)
+                continue
+            offenders = self._offender_tasks(result)
+            if not offenders:
+                return
+            for task in offenders:
+                self._detect(task, result.waited_us)
+            channels = [
+                channel
+                for task in offenders
+                for channel in self.neon.channels_of(task)
+            ]
+            retried = yield from self._retry(offenders, channels, charge_wait)
+            if retried.drained:
+                for task in offenders:
+                    self._recover(task, "retry")
+                continue
+            yield from self._degrade_or_escalate(offenders)
+            return
+
+    # ------------------------------------------------------------------
+    # The ladder
+    # ------------------------------------------------------------------
+    def _drain_once(
+        self,
+        channels: Optional[list["Channel"]],
+        timeout_us: Optional[float],
+        charge_wait: Optional[Callable[[float], None]],
+    ):
+        result = yield from self.neon.drain(
+            channels,
+            timeout_us=timeout_us
+            if timeout_us is not None
+            else self.costs.max_request_us,
+        )
+        if charge_wait is not None:
+            charge_wait(result.waited_us)
+        return result
+
+    def _retry(
+        self,
+        tasks: list["Task"],
+        channels: list["Channel"],
+        charge_wait: Optional[Callable[[float], None]],
+    ):
+        """Re-drain with backed-off timeouts; returns the last result."""
+        result = DrainResult(False, [c for c in channels if not c.dead], 0.0)
+        timeout = self.costs.max_request_us
+        for attempt in range(1, self.costs.watchdog_max_retries + 1):
+            timeout *= self.costs.watchdog_backoff
+            self.retries += 1
+            for task in tasks:
+                self.kernel.metrics.inc("watchdog_retries", task.name)
+            trace = self.kernel.trace
+            if trace.enabled:
+                trace.emit(self.sim.now, self._source, events.WATCHDOG_RETRY,
+                           attempt=attempt, timeout_us=timeout)
+            live = [channel for channel in channels if not channel.dead]
+            result = yield from self._drain_once(live, timeout, charge_wait)
+            if result.drained:
+                return result
+        return result
+
+    def _degrade_or_escalate(self, tasks: Iterable["Task"]):
+        """Strike one: quarantine to engaged mode.  Strike two: kill."""
+        for task in sorted(tasks, key=lambda task: task.task_id):
+            if not task.alive:
+                continue
+            if task.task_id in self._quarantined:
+                self._escalate(task, UNRESPONSIVE_REASON)
+                continue
+            self._quarantined.add(task.task_id)
+            flips = self.neon.engage_task(task)
+            yield self.neon.flip_cost(flips)
+            self._recover(task, "degrade")
+
+    def _offender_tasks(self, result: "DrainResult") -> list["Task"]:
+        """Distinct alive tasks behind a timed-out drain's offenders,
+        sorted so trajectories stay reproducible (neonlint NEON204)."""
+        tasks = {channel.task for channel in result.offenders}
+        ordered = sorted(tasks, key=lambda task: task.task_id)
+        return [task for task in ordered if task.alive]

@@ -7,6 +7,7 @@ turn is skipped and one timeslice is deducted.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -23,7 +24,18 @@ class OveruseLedger:
         self._accrued: dict[int, float] = {}
 
     def charge(self, task: "Task", excess_us: float) -> None:
-        """Add excess execution time observed past a slice boundary."""
+        """Add excess execution time observed past a slice boundary.
+
+        A NaN or infinite charge (a hung drain measured against a
+        poisoned clock, an ``inf``-sized runaway) would poison the ledger
+        permanently — ``accrued`` never recovers from NaN and an infinite
+        balance skips the task forever — so it is rejected here at the
+        boundary.
+        """
+        if math.isnan(excess_us) or math.isinf(excess_us):
+            raise ValueError(
+                f"overuse charge must be finite, got {excess_us}"
+            )
         if excess_us < 0:
             raise ValueError("overuse charge must be non-negative")
         self._accrued[task.task_id] = self.accrued(task) + excess_us

@@ -83,6 +83,10 @@ class TimesliceScheduler(SchedulerBase):
             self._rr_index += 1
             if self.overuse.should_skip(task):
                 continue
+            if self.watchdog.is_quarantined(task):
+                # Degraded after an undrainable slice: don't hand the
+                # token back until nothing else is runnable.
+                continue
             return task
         # Everyone owes at least a slice; after deducting above, just take
         # the next in order rather than idling the device forever.
@@ -137,13 +141,10 @@ class TimesliceScheduler(SchedulerBase):
         channels = self.neon.channels_of(task)
         if not channels:
             return
-        result = yield from self.neon.drain(
-            channels, timeout_us=self.costs.max_request_us
-        )
+        result = yield from self.watchdog.drain_task(task, channels)
         if not result.drained:
-            self.kernel.kill_task(
-                task, "request exceeded the documented maximum run time"
-            )
+            # The watchdog killed, quarantined, or gave up on the holder;
+            # either way there is nothing to charge.
             return
         excess = self.sim.now - slice_end
         self.overuse.charge(task, excess)

@@ -24,6 +24,7 @@ import json
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Any, Callable, Optional, Sequence
 
+from repro.faults.plan import FaultPlan
 from repro.gpu.params import GpuParams
 from repro.osmodel.costs import CostParams
 from repro.workloads.apps import make_app
@@ -142,6 +143,8 @@ class CellSpec:
     seed: int = 0
     costs: Optional[CostParams] = None
     gpu_params: Optional[GpuParams] = None
+    #: Optional fault plan installed for the run (repro.faults).
+    fault_plan: Optional[FaultPlan] = None
 
     @classmethod
     def solo(
@@ -185,6 +188,10 @@ class CellSpec:
             "costs": _jsonable(self.costs),
             "gpu_params": _jsonable(self.gpu_params),
         }
+        if self.fault_plan is not None:
+            # Only keyed when present, so every pre-existing cached result
+            # keeps its key.
+            payload["fault_plan"] = _jsonable(self.fault_plan)
         digest = hashlib.sha256(
             json.dumps(payload, sort_keys=True).encode("utf-8")
         )
@@ -211,6 +218,7 @@ class CellSpec:
             seed=self.seed,
             costs=self.costs,
             gpu_params=self.gpu_params,
+            fault_plan=self.fault_plan,
         )
 
 

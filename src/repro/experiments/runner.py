@@ -11,6 +11,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.core.base import SchedulerBase, scheduler_registry
+from repro.faults.injector import Injector
+from repro.faults.plan import FaultPlan
 from repro.gpu.device import GpuDevice
 from repro.gpu.params import GpuParams
 from repro.metrics.rounds import RoundStats
@@ -41,6 +43,8 @@ class SimulationEnv:
     rng: RngRegistry
     trace: TraceRecorder
     metrics: MetricsRegistry
+    #: Fault injector, when a fault plan is installed (repro.faults).
+    faults: Optional[Injector] = None
 
 
 def build_env(
@@ -53,12 +57,16 @@ def build_env(
     trace_kinds: Optional[Iterable[str]] = None,
     trace: Optional[TraceRecorder] = None,
     metrics: Optional[MetricsRegistry] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SimulationEnv:
     """Wire up a simulator, device, kernel, and scheduler.
 
     ``trace`` (a ready-made recorder, e.g. a capped ring buffer) takes
     precedence over ``trace_kinds`` (record only the listed kinds);
     without either, the null recorder keeps tracing cost off the run.
+    ``fault_plan`` installs a :class:`repro.faults.Injector` at every
+    registered injection point; without one the injector simply does not
+    exist (zero cost, like tracing).
     """
     sim = Simulator()
     rng = RngRegistry(seed)
@@ -69,8 +77,15 @@ def build_env(
             trace = TraceRecorder(trace_kinds)
     if metrics is None:
         metrics = MetricsRegistry()
-    device = GpuDevice(sim, gpu_params, trace, metrics)
-    kernel = Kernel(sim, device, costs, trace, quota, memory_quota, metrics)
+    faults = (
+        Injector(fault_plan, sim, trace=trace, metrics=metrics)
+        if fault_plan is not None
+        else None
+    )
+    device = GpuDevice(sim, gpu_params, trace, metrics, faults=faults)
+    kernel = Kernel(
+        sim, device, costs, trace, quota, memory_quota, metrics, faults=faults
+    )
     if isinstance(scheduler, str):
         try:
             scheduler = scheduler_registry[scheduler]()
@@ -80,7 +95,9 @@ def build_env(
                 f"unknown scheduler {scheduler!r}; known: {known}"
             ) from None
     kernel.attach_scheduler(scheduler)
-    return SimulationEnv(sim, device, kernel, scheduler, rng, trace, metrics)
+    return SimulationEnv(
+        sim, device, kernel, scheduler, rng, trace, metrics, faults
+    )
 
 
 @dataclass(frozen=True)
@@ -139,9 +156,13 @@ def measure(
     seed: int = 0,
     costs: Optional[CostParams] = None,
     gpu_params: Optional[GpuParams] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> dict[str, WorkloadResult]:
     """Build a fresh system, run the workload mix, return results."""
-    env = build_env(scheduler, seed=seed, costs=costs, gpu_params=gpu_params)
+    env = build_env(
+        scheduler, seed=seed, costs=costs, gpu_params=gpu_params,
+        fault_plan=fault_plan,
+    )
     workloads = [factory() for factory in factories]
     return run_workloads(env, workloads, duration_us, warmup_us)
 

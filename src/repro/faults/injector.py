@@ -1,0 +1,88 @@
+"""The fault injector: the one object injection sites talk to.
+
+An :class:`Injector` binds a validated :class:`~repro.faults.plan.FaultPlan`
+to a running simulation.  Each instrumented site calls
+:meth:`Injector.arm` with its registered point constant; the injector
+answers with the matching :class:`~repro.faults.plan.FaultSpec` (the
+site then applies the spec's knobs) or ``None`` (the site proceeds
+untouched).  When no plan is installed the injector simply does not
+exist — every site guards with ``if faults is not None``, mirroring the
+``trace.enabled`` zero-cost-when-off contract.
+
+Determinism: probability draws come from the plan's own
+:class:`~repro.sim.rng.RngRegistry` seeded with ``plan.seed``, one
+stream per injection point (``faults.<point>``), and specs with
+``probability >= 1.0`` consume no draws at all.  Identical plan + seed
+therefore reproduces an identical fault sequence regardless of how the
+workload's own randomness is configured.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.obs import events
+from repro.sim.rng import RngRegistry
+
+
+class Injector:
+    """Evaluates a fault plan at instrumented injection points."""
+
+    def __init__(self, plan: FaultPlan, sim, trace=None, metrics=None) -> None:
+        plan.validate()
+        self.plan = plan
+        self._sim = sim
+        self._trace = trace
+        self._metrics = metrics
+        self._rng = RngRegistry(plan.seed)
+        self._streams: dict = {}
+        #: Fires remaining per spec position (None = unlimited).
+        self._remaining: list[Optional[int]] = [
+            spec.count for spec in plan.specs
+        ]
+        #: Spec positions by point, so arm() only walks relevant specs.
+        self._by_point: dict[str, list[int]] = {}
+        for position, spec in enumerate(plan.specs):
+            self._by_point.setdefault(spec.point, []).append(position)
+        self.fired = 0
+
+    def arm(self, point: str, task: Optional[str] = None) -> Optional[FaultSpec]:
+        """Return the spec firing at ``point`` right now, or ``None``.
+
+        ``task`` is the task name whose traffic reached the point (when
+        the site knows it); it scopes ``target_task`` specs and labels
+        the injection counter and trace event.
+        """
+        positions = self._by_point.get(point)
+        if not positions:
+            return None
+        now = self._sim.now
+        for position in positions:
+            spec = self.plan.specs[position]
+            if not spec.start_us <= now < spec.end_us:
+                continue
+            if spec.target_task is not None and spec.target_task != task:
+                continue
+            remaining = self._remaining[position]
+            if remaining is not None and remaining <= 0:
+                continue
+            if spec.probability < 1.0:
+                stream = self._streams.get(point)
+                if stream is None:
+                    stream = self._rng.stream(f"faults.{point}")
+                    self._streams[point] = stream
+                if stream.random() >= spec.probability:
+                    continue
+            if remaining is not None:
+                self._remaining[position] = remaining - 1
+            self.fired += 1
+            if self._metrics is not None:
+                self._metrics.inc("faults_injected", task or "")
+            if self._trace is not None and self._trace.enabled:
+                self._trace.emit(
+                    now, "faults", events.FAULT_INJECTED,
+                    point=point, task=task,
+                )
+            return spec
+        return None

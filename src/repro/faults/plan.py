@@ -1,0 +1,167 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a frozen, seed-carrying list of
+:class:`FaultSpec` entries, each naming a registered injection point
+(:mod:`repro.faults.registry`) plus the window, probability, and
+magnitude knobs describing when and how hard it fires.  Plans are plain
+data: they round-trip through JSON (:meth:`FaultPlan.to_jsonable` /
+:meth:`FaultPlan.from_jsonable`, :meth:`FaultPlan.dumps` /
+:meth:`FaultPlan.loads`), compose in code (:meth:`FaultPlan.compose`),
+pickle across cell-farm workers, and hash into the result-cache content
+key — the simulation only meets them through
+:class:`~repro.faults.injector.Injector`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro.faults.registry import INJECTION_POINTS
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: where it strikes, when, how often, and how hard."""
+
+    #: Registered injection point (see repro.faults.registry).
+    point: str
+    #: Simulated-time window [start_us, end_us) the spec is live in.
+    start_us: float = 0.0
+    end_us: float = math.inf
+    #: Chance the spec fires each time its point is reached while live.
+    #: 1.0 means "always" and consumes no random draws.
+    probability: float = 1.0
+    #: Extra simulated time the fault costs (points with a "magnitude_us"
+    #: knob).
+    magnitude_us: float = 0.0
+    #: Service-time multiplier (points with a "factor" knob).
+    factor: float = 1.0
+    #: Fire at most this many times (None = unlimited).
+    count: Optional[int] = None
+    #: Only fire for this task's traffic (None = any task).
+    target_task: Optional[str] = None
+
+    def validate(self) -> None:
+        if self.point not in INJECTION_POINTS:
+            known = ", ".join(sorted(INJECTION_POINTS))
+            raise ValueError(
+                f"unknown injection point {self.point!r} (known: {known})"
+            )
+        if math.isnan(self.start_us) or math.isnan(self.end_us):
+            raise ValueError(f"{self.point}: NaN window bound")
+        if self.start_us < 0 or self.end_us < self.start_us:
+            raise ValueError(
+                f"{self.point}: invalid window "
+                f"[{self.start_us}, {self.end_us})"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"{self.point}: probability {self.probability} not in [0, 1]"
+            )
+        if not math.isfinite(self.magnitude_us) or self.magnitude_us < 0:
+            raise ValueError(
+                f"{self.point}: magnitude_us {self.magnitude_us} must be "
+                "finite and non-negative"
+            )
+        if not math.isfinite(self.factor) or self.factor <= 0:
+            raise ValueError(
+                f"{self.point}: factor {self.factor} must be finite and > 0"
+            )
+        if self.count is not None and self.count < 1:
+            raise ValueError(f"{self.point}: count {self.count} must be >= 1")
+
+    def to_jsonable(self) -> dict:
+        """Compact dict: defaults omitted, infinities spelled out."""
+        out: dict = {"point": self.point}
+        for field in fields(self):
+            if field.name == "point":
+                continue
+            value = getattr(self, field.name)
+            if value == field.default:
+                continue
+            if isinstance(value, float) and math.isinf(value):
+                value = "inf"
+            out[field.name] = value
+        return out
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "FaultSpec":
+        allowed = {field.name for field in fields(cls)}
+        unknown = set(data) - allowed
+        if unknown:
+            raise ValueError(f"unknown FaultSpec fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        for key in ("start_us", "end_us", "magnitude_us", "factor"):
+            if kwargs.get(key) == "inf":
+                kwargs[key] = math.inf
+        spec = cls(**kwargs)
+        spec.validate()
+        return spec
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded collection of fault specs."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    #: Seeds the injector's probability draws (streams named
+    #: ``faults.<point>`` in the plan's own RngRegistry), independent of
+    #: the workload seed so the same plan perturbs identically across
+    #: experiment seeds.
+    seed: int = 0
+    name: str = ""
+
+    def validate(self) -> None:
+        for spec in self.specs:
+            spec.validate()
+
+    def points(self) -> tuple[str, ...]:
+        """Distinct injection points the plan touches, sorted."""
+        return tuple(sorted({spec.point for spec in self.specs}))
+
+    @classmethod
+    def compose(cls, name: str, *plans: "FaultPlan", seed: Optional[int] = None) -> "FaultPlan":
+        """Concatenate plans; the first plan's seed wins unless given."""
+        specs: tuple[FaultSpec, ...] = ()
+        for plan in plans:
+            specs += plan.specs
+        chosen = seed if seed is not None else (plans[0].seed if plans else 0)
+        return cls(specs=specs, seed=chosen, name=name)
+
+    def to_jsonable(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "specs": [spec.to_jsonable() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "FaultPlan":
+        unknown = set(data) - {"name", "seed", "specs"}
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {sorted(unknown)}")
+        specs = tuple(
+            FaultSpec.from_jsonable(entry) for entry in data.get("specs", ())
+        )
+        return cls(
+            specs=specs,
+            seed=int(data.get("seed", 0)),
+            name=str(data.get("name", "")),
+        )
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_jsonable(), indent=2, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        plan = cls.from_jsonable(json.loads(text))
+        plan.validate()
+        return plan
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.loads(handle.read())

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import OutOfResourcesError
+from repro.faults import registry as fault_points
 from repro.gpu.channel import Channel
 from repro.gpu.context import GpuContext
 from repro.gpu.engine import ExecutionEngine
@@ -39,12 +41,16 @@ class GpuDevice:
         params: Optional[GpuParams] = None,
         trace: Optional[TraceRecorder] = None,
         metrics: Optional[MetricsRegistry] = None,
+        faults=None,
     ) -> None:
         self.sim = sim
         self.params = params or GpuParams()
         self.params.validate()
         self.trace = trace if trace is not None else NullRecorder()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Optional fault injector (repro.faults); None means no plan is
+        #: installed and every injection site is a single attribute check.
+        self.faults = faults
         # Hot-path instruments, resolved once (submit/retire run per request).
         self._submits = self.metrics.counter("submits")
         self.latency_histogram = self.metrics.histogram("request_latency_us")
@@ -118,7 +124,19 @@ class GpuDevice:
         kernel model before calling this.
         """
         request.completion = self.sim.event()
+        if self.faults is not None:
+            if self.faults.arm(fault_points.GPU_REQUEST_HANG, channel.task.name):
+                # The engine will start this request and never finish it.
+                request.size_us = math.inf
+                request.remaining_us = math.inf
         channel.enqueue(request, self.sim.now)
+        if self.faults is not None:
+            if self.faults.arm(
+                fault_points.GPU_SPURIOUS_COMPLETION, channel.task.name
+            ):
+                # The counter jumps past work still in flight, so scans
+                # and drains observe completions that never happened.
+                channel.refcounter = channel.last_submitted_ref
         self._engine_for(channel.kind).notify()
         self._submits.inc(channel.task.name)
         if self.trace.enabled:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.faults import registry as fault_points
 from repro.gpu.channel import Channel
 from repro.gpu.request import Request, RequestKind
 from repro.obs import events
@@ -208,6 +209,13 @@ class ExecutionEngine:
                 continue
 
             switch_cost = self._switch_cost(channel)
+            faults = self.device.faults
+            if faults is not None and switch_cost > 0:
+                spike = faults.arm(
+                    fault_points.GPU_CONTEXT_SWITCH_SPIKE, channel.task.name
+                )
+                if spike is not None:
+                    switch_cost += spike.magnitude_us
             if switch_cost > 0:
                 yield switch_cost
                 self.busy_us += switch_cost
@@ -231,6 +239,16 @@ class ExecutionEngine:
                 self.switch_us += restore
             if request.start_time is None:
                 request.start_time = self.sim.now
+                faults = self.device.faults
+                if faults is not None and not request.never_completes:
+                    slow = faults.arm(
+                        fault_points.GPU_REQUEST_SLOWDOWN, channel.task.name
+                    )
+                    if slow is not None:
+                        # Hardware runs slow; the submitter's declared
+                        # size_us is unchanged — it believes the request
+                        # is still small.
+                        request.remaining_us *= slow.factor
             segment_start = self.sim.now
             self.current = request
             self.current_channel = channel
@@ -321,12 +339,42 @@ class ExecutionEngine:
         self.current_channel = None
         self._abort = None
         self._preempt = None
+        if not aborted:
+            faults = self.device.faults
+            if faults is not None:
+                stall = faults.arm(
+                    fault_points.GPU_REFCOUNTER_STALL, channel.task.name
+                )
+                if stall is not None and stall.magnitude_us > 0:
+                    # The hardware finished (engine time is charged above)
+                    # but the counter write — and with it every software
+                    # observation of completion — lands late.
+                    self.sim.schedule(
+                        stall.magnitude_us,
+                        self._publish_completion, channel, request, service,
+                        False,
+                    )
+                    return
+        self._publish_completion(channel, request, service, aborted)
+
+    def _publish_completion(
+        self,
+        channel: Channel,
+        request: Request,
+        service: float,
+        aborted: bool,
+    ) -> None:
+        """Make a retired request's completion visible to software: bump
+        the reference counter, account it, and trigger waiters.  Runs
+        immediately on retirement, or late under a refcounter-stall fault."""
+        now = self.sim.now
         latency_us: Optional[float] = None
         if aborted:
             request.aborted = True
             # The kill path resets the channel's counters; nothing to do.
         else:
-            channel.complete(request)
+            if not channel.dead:
+                channel.complete(request)
             self.completed_requests += 1
             if request.submit_time is not None:
                 latency_us = now - request.submit_time

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Optional
 
+from repro.faults import registry as fault_points
 from repro.neon.barrier import DrainResult
 from repro.neon.stats import ChannelKind, ChannelObservations
 from repro.obs import events
@@ -41,6 +42,7 @@ class InterceptionManager:
         self.costs = kernel.costs
         self.polling = kernel.polling
         self.trace = kernel.trace
+        self.faults = kernel.faults
         self.channels: dict[int, "Channel"] = {}
         self.observations: dict[int, ChannelObservations] = {}
         #: Per-task engaged/disengaged channel-time, fed by page flips.
@@ -130,7 +132,12 @@ class InterceptionManager:
 
     def flip_cost(self, flips: int) -> float:
         """Page-table update cost for ``flips`` protection changes (µs)."""
-        return flips * self.costs.page_flip_us
+        cost = flips * self.costs.page_flip_us
+        if flips > 0 and self.faults is not None:
+            stall = self.faults.arm(fault_points.NEON_BARRIER_STALL)
+            if stall is not None:
+                cost += stall.magnitude_us
+        return cost
 
     # ------------------------------------------------------------------
     # Runlist masking (requires hardware preemption support, §6.2)
@@ -151,13 +158,22 @@ class InterceptionManager:
         """Read the channel's last submitted reference number.
 
         A generator: yields the scan cost, then returns the value.  Also
-        records it in the channel's observation log.
+        records it in the channel's observation log.  Under a stale-scan
+        fault the scan returns the previous scan's value instead of the
+        current one — the ring-buffer walk raced a concurrent update.
         """
         yield self.costs.reengage_scan_us
         observation = self.observations.get(channel.channel_id)
+        value = channel.last_submitted_ref
+        if self.faults is not None and observation is not None:
+            stale = self.faults.arm(
+                fault_points.NEON_STALE_SCAN, channel.task.name
+            )
+            if stale is not None:
+                value = observation.last_scanned_ref
         if observation is not None:
-            observation.last_scanned_ref = channel.last_submitted_ref
-        return channel.last_submitted_ref
+            observation.last_scanned_ref = value
+        return value
 
     # ------------------------------------------------------------------
     # Draining
@@ -180,10 +196,15 @@ class InterceptionManager:
         start = self.sim.now
         targets = list(channels) if channels is not None else self.live_channels()
         pending: list["Channel"] = []
+        target_refs: dict[int, int] = {}
         for channel in targets:
-            yield from self.scan_channel(channel)
-            if channel.refcounter < channel.last_submitted_ref:
+            # The drain target is the *scanned* reference number — all the
+            # software can know.  Unfaulted it equals the true last
+            # submitted ref; a stale scan can under-drain.
+            scanned = yield from self.scan_channel(channel)
+            if channel.refcounter < scanned:
                 pending.append(channel)
+                target_refs[channel.channel_id] = scanned
         if not pending:
             return self._drain_done(DrainResult(True, [], self.sim.now - start))
 
@@ -198,7 +219,7 @@ class InterceptionManager:
 
         watch_ids = [
             self.polling.watch(
-                channel, channel.last_submitted_ref, on_channel_drained
+                channel, target_refs[channel.channel_id], on_channel_drained
             )
             for channel in pending
         ]
@@ -218,7 +239,7 @@ class InterceptionManager:
         offenders = [
             channel
             for channel in pending
-            if channel.refcounter < channel.last_submitted_ref
+            if channel.refcounter < target_refs[channel.channel_id]
         ]
         return self._drain_done(DrainResult(False, offenders, self.sim.now - start))
 

@@ -62,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
             "--max-records", type=int, default=DEFAULT_TRACE_CAP,
             help="trace ring-buffer capacity (oldest records drop beyond it)",
         )
+        p.add_argument(
+            "--fault-plan", default=None, metavar="FILE",
+            help="JSON fault plan to install for the run (repro.faults)",
+        )
 
     record = sub.add_parser(
         "record", help="run a simulation and write its trace as JSONL"
@@ -135,6 +139,7 @@ def record_trace(
     duration_us: float,
     seed: int,
     max_records: Optional[int],
+    fault_plan=None,
 ) -> tuple[TraceRecorder, float]:
     """Run a small simulation with tracing on; returns (trace, end time)."""
     # Imported here so trace-file analysis never loads the simulator.
@@ -142,7 +147,7 @@ def record_trace(
     from repro.workloads.apps import make_app
 
     trace = TraceRecorder(max_records=max_records)
-    env = build_env(scheduler, seed=seed, trace=trace)
+    env = build_env(scheduler, seed=seed, trace=trace, fault_plan=fault_plan)
     counts: dict[str, int] = {}
     workloads = []
     for name in apps:
@@ -166,9 +171,14 @@ def _obtain_trace(args: argparse.Namespace) -> tuple[TraceRecorder, Optional[flo
         if args.duration_ms is not None
         else DEFAULT_RECORD_DURATION_US
     )
+    fault_plan = None
+    if getattr(args, "fault_plan", None) is not None:
+        from repro.faults.plan import FaultPlan
+
+        fault_plan = FaultPlan.load(args.fault_plan)
     return record_trace(
         args.scheduler, _parse_apps(args.apps), duration_us, args.seed,
-        args.max_records,
+        args.max_records, fault_plan,
     )
 
 
@@ -243,6 +253,15 @@ def cmd_summary(args: argparse.Namespace) -> int:
     total = end_us if end_us is not None else last
     for line in overhead_report(summary.breakdown, total):
         print(line)
+    if summary.fault_timeline:
+        print()
+        print("fault/recovery timeline (repro.faults injection + watchdog):")
+        for incident in summary.fault_timeline:
+            task = incident.task or "-"
+            print(
+                f"  {incident.time_us / 1000.0:10.2f} ms  "
+                f"{incident.kind:16s} {task:16s} {incident.detail}"
+            )
     print()
     print("records by kind:")
     for kind, count in sorted(summary.kind_counts.items()):

@@ -22,7 +22,8 @@ class EventKindSpec:
     """One registered trace event kind."""
 
     kind: str
-    #: Layer that emits it: "gpu", "kernel", "neon", or "scheduler".
+    #: Layer that emits it: "gpu", "kernel", "neon", "scheduler", or
+    #: "faults" (the injection/watchdog subsystem, repro.faults).
     layer: str
     description: str
     #: Payload field names the emit sites provide (documentation +
@@ -40,7 +41,7 @@ def register_event_kind(
     """Register a kind; returns the kind string (assign it to a constant)."""
     if kind in EVENT_KINDS:
         raise ValueError(f"event kind {kind!r} registered twice")
-    if layer not in ("gpu", "kernel", "neon", "scheduler"):
+    if layer not in ("gpu", "kernel", "neon", "scheduler", "faults"):
         raise ValueError(f"unknown layer {layer!r} for event kind {kind!r}")
     EVENT_KINDS[kind] = EventKindSpec(kind, layer, description, payload)
     return kind
@@ -187,4 +188,33 @@ REQUEST_RELEASED = register_event_kind(
     "request_released", "scheduler",
     "a per-request scheduler released a held request for dispatch",
     ("task",),
+)
+
+# ----------------------------------------------------------------------
+# Fault-injection / watchdog layer (repro.faults, repro.core.hardening)
+# ----------------------------------------------------------------------
+FAULT_INJECTED = register_event_kind(
+    "fault_injected", "faults",
+    "the injector fired a fault spec at a registered injection point",
+    ("point",),
+)
+FAULT_DETECTED = register_event_kind(
+    "fault_detected", "faults",
+    "the drain watchdog observed a stuck drain it attributes to a task",
+    ("task", "waited_us"),
+)
+WATCHDOG_RETRY = register_event_kind(
+    "watchdog_retry", "faults",
+    "the watchdog re-drained with a backed-off timeout before acting",
+    ("attempt", "timeout_us"),
+)
+FAULT_RECOVERED = register_event_kind(
+    "fault_recovered", "faults",
+    "a detected fault resolved without a kill (retry or degrade action)",
+    ("task", "action"),
+)
+FAULT_ESCALATED = register_event_kind(
+    "fault_escalated", "faults",
+    "watchdog retries were exhausted (or a runaway attributed): task killed",
+    ("task", "reason"),
 )

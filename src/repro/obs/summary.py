@@ -34,12 +34,26 @@ class TaskSummary:
     exited: bool = False
     latency_sum_us: float = 0.0
     latency_count: int = 0
+    faults_injected: int = 0
+    fault_detections: int = 0
+    fault_recoveries: int = 0
+    fault_escalations: int = 0
 
     @property
     def mean_latency_us(self) -> Optional[float]:
         if self.latency_count == 0:
             return None
         return self.latency_sum_us / self.latency_count
+
+
+@dataclass(frozen=True)
+class FaultIncident:
+    """One entry of the injection/recovery timeline, in trace order."""
+
+    time_us: float
+    kind: str
+    task: str
+    detail: str
 
 
 @dataclass
@@ -52,6 +66,8 @@ class TraceSummary:
     kind_counts: dict[str, int]
     tasks: dict[str, TaskSummary] = field(default_factory=dict)
     breakdown: dict[str, float] = field(default_factory=dict)
+    #: Injection and watchdog events in trace order; empty without faults.
+    fault_timeline: list[FaultIncident] = field(default_factory=list)
 
 
 @dataclass
@@ -78,6 +94,7 @@ def summarize(trace: TraceRecorder, end_us: Optional[float] = None) -> TraceSumm
 
     tasks: dict[str, TaskSummary] = {}
     channels: dict[int, _ChannelReplay] = {}
+    timeline: list[FaultIncident] = []
 
     def task_summary(name: str) -> TaskSummary:
         summary = tasks.get(name)
@@ -97,10 +114,28 @@ def summarize(trace: TraceRecorder, end_us: Optional[float] = None) -> TraceSumm
                 task, False, record.time, task_summary(task)
             )
 
+    def fault_event(record, detail: str) -> None:
+        task = record.payload.get("task")
+        timeline.append(
+            FaultIncident(record.time, record.kind, task or "", detail)
+        )
+
     for record in trace.records():
         payload = record.payload
         task = payload.get("task")
         sight_channel(record)
+        if record.kind == events.FAULT_INJECTED:
+            fault_event(record, payload.get("point", ""))
+            if task:
+                task_summary(task).faults_injected += 1
+            continue
+        elif record.kind == events.WATCHDOG_RETRY:
+            fault_event(
+                record,
+                f"attempt {payload.get('attempt')} "
+                f"(timeout {payload.get('timeout_us')} us)",
+            )
+            continue
         if not isinstance(task, str):
             continue
         if record.kind == events.REQUEST_SUBMIT:
@@ -123,6 +158,15 @@ def summarize(trace: TraceRecorder, end_us: Optional[float] = None) -> TraceSumm
             observed = payload.get("observed")
             if isinstance(observed, int):
                 summary.samples += observed
+        elif record.kind == events.FAULT_DETECTED:
+            task_summary(task).fault_detections += 1
+            fault_event(record, f"waited {payload.get('waited_us')} us")
+        elif record.kind == events.FAULT_RECOVERED:
+            task_summary(task).fault_recoveries += 1
+            fault_event(record, payload.get("action", ""))
+        elif record.kind == events.FAULT_ESCALATED:
+            task_summary(task).fault_escalations += 1
+            fault_event(record, payload.get("reason", ""))
         elif record.kind == events.TASK_KILLED:
             task_summary(task).killed = True
         elif record.kind == events.TASK_EXIT:
@@ -145,6 +189,7 @@ def summarize(trace: TraceRecorder, end_us: Optional[float] = None) -> TraceSumm
         kind_counts=trace.kind_counts(),
         tasks=dict(sorted(tasks.items())),
         breakdown=overhead_breakdown(trace, end_us=end_us),
+        fault_timeline=timeline,
     )
 
 
@@ -170,6 +215,8 @@ def diff_tasks(
     fields = (
         "submits", "completes", "aborts", "faults", "denials",
         "engaged_us", "disengaged_us",
+        "faults_injected", "fault_detections", "fault_recoveries",
+        "fault_escalations",
     )
     out: dict[str, dict[str, tuple[float, float]]] = {}
     for task in sorted(set(left.tasks) | set(right.tasks)):

@@ -92,6 +92,18 @@ class CostParams:
     #: maximum time that any request is permitted to run").
     max_request_us: float = 1_000_000.0
 
+    #: Drain-watchdog hardening (repro.core.hardening): how many times a
+    #: stuck-but-unattributable drain is retried with a backed-off timeout
+    #: before the watchdog degrades the offending task to engaged mode
+    #: (and, on a repeat offense, kills it).  Only reachable when device
+    #: or kernel misbehavior — fault injection — makes drain observations
+    #: contradict the engine state; a genuine runaway is attributed and
+    #: killed on the first timeout exactly as before.
+    watchdog_max_retries: int = 2
+
+    #: Timeout multiplier applied at each watchdog retry.
+    watchdog_backoff: float = 2.0
+
     #: Per-request syscall cost of the trap-per-request comparison stack of
     #: Section 3 (AMD-Catalyst-style submission).  Calibrated so direct
     #: access gains ~30% for 10 µs requests, matching the paper's 8–35%
@@ -133,6 +145,10 @@ class CostParams:
             raise ValueError("freerun_multiplier must be positive")
         if self.cpu_cores < 0:
             raise ValueError("cpu_cores must be non-negative (0 = unlimited)")
+        if self.watchdog_max_retries < 0:
+            raise ValueError("watchdog_max_retries must be non-negative")
+        if self.watchdog_backoff < 1.0:
+            raise ValueError("watchdog_backoff must be >= 1.0")
 
     @property
     def intercept_us(self) -> float:

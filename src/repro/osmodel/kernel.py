@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import OutOfResourcesError
+from repro.faults import registry as fault_points
 from repro.neon.discovery import ChannelDiscovery
 from repro.obs import events
 from repro.obs.metrics import MetricsRegistry
@@ -98,6 +99,7 @@ class Kernel:
         quota: Optional[ChannelQuotaPolicy] = None,
         memory_quota: Optional["MemoryQuotaPolicy"] = None,
         metrics: Optional[MetricsRegistry] = None,
+        faults=None,
     ) -> None:
         self.sim = sim
         self.device = device
@@ -107,12 +109,14 @@ class Kernel:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         # Resolved once: the fault path runs per intercepted request.
         self._faults = self.metrics.counter("faults")
+        #: Optional fault injector (repro.faults); None = no plan installed.
+        self.faults = faults
         self.quota = quota
         self.memory_quota = memory_quota
         self.cpu: Optional[CpuPool] = (
             CpuPool(sim, self.costs.cpu_cores) if self.costs.cpu_cores > 0 else None
         )
-        self.polling = PollingService(sim, self.costs, cpu=self.cpu)
+        self.polling = PollingService(sim, self.costs, cpu=self.cpu, faults=faults)
         self.scheduler = None  # attached below; import cycle avoidance
         self.tasks: list[Task] = []
         #: Channel-discovery state machines, keyed by channel id.
@@ -192,11 +196,34 @@ class Kernel:
             self.quota.admit_channel(self, task)
         channel = self.device.create_channel(context, kind)
         discovery = ChannelDiscovery(channel.channel_id)
-        discovery.run_full_setup()
         self.discoveries[channel.channel_id] = discovery
+        if self.faults is not None:
+            corrupted = self.faults.arm(
+                fault_points.NEON_DISCOVERY_CORRUPTION, task.name
+            )
+            if corrupted is not None:
+                # The setup mmaps were misread: the channel stays
+                # untracked (and unschedulable by NEON) until discovery
+                # is retried after the repair delay.
+                self.sim.schedule(
+                    corrupted.magnitude_us, self._repair_discovery, channel
+                )
+                return channel
+        discovery.run_full_setup()
         if discovery.active and self.scheduler is not None:
             self.scheduler.on_channel_active(channel)
         return channel
+
+    def _repair_discovery(self, channel: "Channel") -> None:
+        """Retry a corrupted channel discovery (fault-injection recovery)."""
+        if channel.dead:
+            return
+        discovery = self.discoveries.get(channel.channel_id)
+        if discovery is None or discovery.active:
+            return
+        discovery.run_full_setup()
+        if discovery.active and self.scheduler is not None:
+            self.scheduler.on_channel_active(channel)
 
     def allocate_memory(self, task: Task, context: "GpuContext", mib: float) -> None:
         """Allocate device memory on behalf of a task (mmap/ioctl path),
@@ -253,6 +280,10 @@ class Kernel:
         long (or forever, if the task gets killed while waiting).
         """
         page = channel.register_page
+        if self.faults is not None:
+            lag = self.faults.arm(fault_points.KERNEL_SUBMIT_LATENCY, task.name)
+            if lag is not None:
+                yield lag.magnitude_us
         yield self.costs.direct_submit_us
         observed = False
         if page.protected:
@@ -268,6 +299,21 @@ class Kernel:
                     self.sim.now, "kernel", events.FAULT,
                     task=task.name, channel=channel.channel_id, ref=request.ref,
                 )
+            if self.faults is not None:
+                dropped = self.faults.arm(
+                    fault_points.KERNEL_FAULT_DROP, task.name
+                )
+                if dropped is not None:
+                    # The first trap is lost: its CPU cost is paid for
+                    # nothing and the store re-executes after the retry
+                    # delay, trapping again below.
+                    yield from self.cpu_time(self.costs.trap_us, task.name)
+                    yield dropped.magnitude_us
+                delayed = self.faults.arm(
+                    fault_points.KERNEL_FAULT_DELAY, task.name
+                )
+                if delayed is not None:
+                    yield delayed.magnitude_us
             yield from self.cpu_time(
                 self.costs.trap_us + self.costs.fault_handle_us, task.name
             )

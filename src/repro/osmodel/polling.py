@@ -16,6 +16,7 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.faults import registry as fault_points
 from repro.sim.events import AnyOf, Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -49,13 +50,17 @@ class _Watch:
 class PollingService:
     """Periodic reference-counter polling with scheduler prompting."""
 
-    def __init__(self, sim: "Simulator", costs: "CostParams", cpu=None) -> None:
+    def __init__(
+        self, sim: "Simulator", costs: "CostParams", cpu=None, faults=None
+    ) -> None:
         self.sim = sim
         self.costs = costs
         self.interval_us = costs.poll_interval_us
         #: Optional finite CPU pool; when set, polling passes consume a
         #: core instead of being free (the §5.2 single-CPU question).
         self.cpu = cpu
+        #: Optional fault injector (repro.faults); None = no plan installed.
+        self.faults = faults
         self._watches: dict[int, _Watch] = {}
         self._prompt: Optional[Event] = None
         #: Cumulative CPU time consumed by polling passes.
@@ -119,6 +124,10 @@ class PollingService:
             timer = self.sim.schedule(self.interval_us, interval.trigger)
             yield AnyOf(self.sim, [interval, self._prompt])
             timer.cancel()
+            if self.faults is not None:
+                stall = self.faults.arm(fault_points.KERNEL_POLL_STALL)
+                if stall is not None and stall.magnitude_us > 0:
+                    yield stall.magnitude_us
             if self.cpu is not None:
                 pass_cost = self.costs.poll_check_us * len(self._watches)
                 yield from self.cpu.execute(pass_cost, "polling")

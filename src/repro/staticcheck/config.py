@@ -78,6 +78,9 @@ class Config:
     #: Module prefixes whose ``trace.emit`` kinds must be registered
     #: constants (NEON401/NEON402); tests and scratch code stay free.
     trace_emit_modules: tuple[str, ...] = ("repro",)
+    #: Module prefixes whose ``faults.arm`` points must be registered
+    #: constants (NEON403/NEON404).
+    fault_arm_modules: tuple[str, ...] = ("repro",)
     #: File allowlist entries: ``path-suffix:line:RULE`` (line may be ``*``).
     allow: tuple[str, ...] = ()
 
@@ -95,6 +98,9 @@ class Config:
 
     def is_trace_emit_module(self, module: str) -> bool:
         return _has_prefix(module, self.trace_emit_modules)
+
+    def is_fault_arm_module(self, module: str) -> bool:
+        return _has_prefix(module, self.fault_arm_modules)
 
     def allowlisted(self, path: Path, line: int, rule_id: str) -> bool:
         """True when a config-file allow entry covers this violation."""
@@ -127,6 +133,7 @@ _TUPLE_FIELDS = (
     "generator_methods",
     "flip_methods",
     "trace_emit_modules",
+    "fault_arm_modules",
     "allow",
 )
 

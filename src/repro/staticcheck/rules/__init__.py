@@ -11,6 +11,7 @@ from typing import TYPE_CHECKING
 from repro.staticcheck.rules.boundary import BoundaryChecker
 from repro.staticcheck.rules.determinism import DeterminismChecker
 from repro.staticcheck.rules.events import EventKindChecker
+from repro.staticcheck.rules.faults import FaultPointChecker
 from repro.staticcheck.rules.generators import GeneratorChecker
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -30,9 +31,17 @@ RULES: dict[str, str] = {
     "NEON303": "engagement flip count discarded (page-flip cost never charged)",
     "NEON401": "trace.emit called with a string-literal event kind",
     "NEON402": "trace.emit kind constant not registered in repro.obs.events",
+    "NEON403": "faults.arm called with a string-literal injection point",
+    "NEON404": "faults.arm point constant not registered in repro.faults.registry",
 }
 
-_CHECKERS = (BoundaryChecker, DeterminismChecker, EventKindChecker, GeneratorChecker)
+_CHECKERS = (
+    BoundaryChecker,
+    DeterminismChecker,
+    EventKindChecker,
+    FaultPointChecker,
+    GeneratorChecker,
+)
 
 
 def build_checkers(config: "Config"):

@@ -1,0 +1,124 @@
+"""Fault-injection rules (NEON40x, continued) — the injection-point registry.
+
+Every ``faults.arm(...)`` site in simulation code must name its injection
+point through a constant registered in :mod:`repro.faults.registry`; the
+registry is the single source of truth for where faults can strike, so
+fault plans, the chaos matrix, and the docs never meet a point the
+simulation does not implement.
+
+* **NEON403** — the point argument is a string literal
+  (``faults.arm("gpu.request_hang")``).  Literals drift: a typo arms an
+  orphan point that no plan can ever reference.
+* **NEON404** — the point argument is an identifier, but not one of the
+  registered constants exported by ``repro.faults.registry``
+  (``fault_points.GPU_REQUEST_HANG`` passes; a constant defined
+  elsewhere does not).
+
+Only receivers named ``faults`` are checked (``self.faults.arm``,
+``device.faults.arm``, a local ``faults = ...`` alias), and only in
+modules under ``fault_arm_modules`` — test doubles stay free.
+Conditional points (``A if graphics else B``) are checked on both
+branches.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.faults.registry import constant_names
+from repro.staticcheck.core import ModuleContext, Violation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.staticcheck.config import Config
+
+#: Receiver terminal name that marks an injector arm call.
+_RECEIVER = "faults"
+#: Position of the point argument in ``arm(point, task=None)``.
+_POINT_ARG_INDEX = 0
+
+
+def _receiver_name(func: ast.expr) -> Optional[str]:
+    """Terminal name of an ``arm`` call's receiver, if any.
+
+    ``faults.arm`` → ``faults``; ``self.device.faults.arm`` → ``faults``.
+    """
+    if not isinstance(func, ast.Attribute) or func.attr != "arm":
+        return None
+    receiver = func.value
+    if isinstance(receiver, ast.Name):
+        return receiver.id
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr
+    return None
+
+
+def _point_argument(call: ast.Call) -> Optional[ast.expr]:
+    for keyword in call.keywords:
+        if keyword.arg == "point":
+            return keyword.value
+    if len(call.args) > _POINT_ARG_INDEX:
+        arg = call.args[_POINT_ARG_INDEX]
+        if isinstance(arg, ast.Starred):
+            return None
+        return arg
+    return None
+
+
+class FaultPointChecker:
+    """NEON403 (literal points) and NEON404 (unregistered constants)."""
+
+    rule_ids = ("NEON403", "NEON404")
+
+    def __init__(self) -> None:
+        self._registered = constant_names()
+
+    def check(self, ctx: ModuleContext, config: "Config") -> Iterator[Violation]:
+        if not config.is_fault_arm_module(ctx.module):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _receiver_name(node.func) != _RECEIVER:
+                continue
+            point = _point_argument(node)
+            if point is None:
+                continue
+            yield from self._check_point(ctx, point)
+
+    def _check_point(
+        self, ctx: ModuleContext, point: ast.expr
+    ) -> Iterator[Violation]:
+        if isinstance(point, ast.IfExp):
+            yield from self._check_point(ctx, point.body)
+            yield from self._check_point(ctx, point.orelse)
+            return
+        if isinstance(point, ast.Constant) and isinstance(point.value, str):
+            yield Violation(
+                path=str(ctx.path),
+                line=point.lineno,
+                col=point.col_offset,
+                rule_id="NEON403",
+                message=(
+                    f"string-literal injection point {point.value!r}; use a "
+                    "registered constant from repro.faults.registry instead"
+                ),
+            )
+            return
+        name: Optional[str] = None
+        if isinstance(point, ast.Name):
+            name = point.id
+        elif isinstance(point, ast.Attribute):
+            name = point.attr
+        if name is not None and name not in self._registered:
+            yield Violation(
+                path=str(ctx.path),
+                line=point.lineno,
+                col=point.col_offset,
+                rule_id="NEON404",
+                message=(
+                    f"injection point constant '{name}' is not registered "
+                    "in repro.faults.registry; register it with "
+                    "register_injection_point"
+                ),
+            )

@@ -54,6 +54,18 @@ def test_negative_charge_rejected(task):
         ledger.charge(task, -1.0)
 
 
+@pytest.mark.parametrize(
+    "bogus", [float("nan"), float("inf"), float("-inf")]
+)
+def test_non_finite_charge_rejected(task, bogus):
+    ledger = OveruseLedger(30_000.0)
+    with pytest.raises(ValueError, match="finite"):
+        ledger.charge(task, bogus)
+    # The rejected charge must not have touched the ledger.
+    assert ledger.accrued(task) == 0.0
+    assert not ledger.should_skip(task)
+
+
 def test_invalid_timeslice_rejected():
     with pytest.raises(ValueError):
         OveruseLedger(0.0)

@@ -1,0 +1,130 @@
+"""FaultSpec/FaultPlan validation, JSON round-trips, and composition."""
+
+import math
+
+import pytest
+
+from repro.faults import registry as fault_points
+from repro.faults.plan import FaultPlan, FaultSpec
+
+
+def test_default_spec_is_valid():
+    FaultSpec(point=fault_points.GPU_REQUEST_HANG).validate()
+
+
+def test_unknown_point_rejected():
+    with pytest.raises(ValueError, match="unknown injection point"):
+        FaultSpec(point="gpu.totally_made_up").validate()
+
+
+@pytest.mark.parametrize(
+    "kwargs, pattern",
+    [
+        ({"start_us": float("nan")}, "NaN window"),
+        ({"end_us": float("nan")}, "NaN window"),
+        ({"start_us": -1.0}, "invalid window"),
+        ({"start_us": 10.0, "end_us": 5.0}, "invalid window"),
+        ({"probability": -0.1}, "probability"),
+        ({"probability": 1.5}, "probability"),
+        ({"magnitude_us": -5.0}, "magnitude_us"),
+        ({"magnitude_us": float("nan")}, "magnitude_us"),
+        ({"magnitude_us": float("inf")}, "magnitude_us"),
+        ({"factor": 0.0}, "factor"),
+        ({"factor": -2.0}, "factor"),
+        ({"factor": float("inf")}, "factor"),
+        ({"count": 0}, "count"),
+    ],
+)
+def test_bad_knobs_rejected(kwargs, pattern):
+    spec = FaultSpec(point=fault_points.GPU_REQUEST_SLOWDOWN, **kwargs)
+    with pytest.raises(ValueError, match=pattern):
+        spec.validate()
+
+
+def test_spec_round_trips_through_json_with_defaults_omitted():
+    spec = FaultSpec(
+        point=fault_points.GPU_REFCOUNTER_STALL,
+        start_us=1_000.0,
+        magnitude_us=40_000.0,
+        count=2,
+        target_task="victim",
+    )
+    data = spec.to_jsonable()
+    # Defaults are omitted for compact plans.
+    assert "end_us" not in data and "probability" not in data
+    assert FaultSpec.from_jsonable(data) == spec
+
+
+def test_infinite_window_bound_spelled_out_in_json():
+    spec = FaultSpec(point=fault_points.NEON_STALE_SCAN, start_us=5.0)
+    assert spec.end_us == math.inf
+    data = FaultSpec(
+        point=fault_points.NEON_STALE_SCAN, end_us=math.inf
+    ).to_jsonable()
+    assert "end_us" not in data  # inf IS the default -> omitted
+    explicit = {"point": fault_points.NEON_STALE_SCAN, "end_us": "inf"}
+    assert FaultSpec.from_jsonable(explicit).end_us == math.inf
+
+
+def test_unknown_spec_field_rejected():
+    with pytest.raises(ValueError, match="unknown FaultSpec fields"):
+        FaultSpec.from_jsonable(
+            {"point": fault_points.GPU_REQUEST_HANG, "severity": "extreme"}
+        )
+
+
+def test_unknown_plan_field_rejected():
+    with pytest.raises(ValueError, match="unknown FaultPlan fields"):
+        FaultPlan.from_jsonable({"specs": [], "schedulers": ["dfq"]})
+
+
+def test_plan_round_trips_through_dumps_loads():
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(point=fault_points.GPU_REQUEST_HANG, count=1),
+            FaultSpec(
+                point=fault_points.KERNEL_POLL_STALL,
+                probability=0.05,
+                magnitude_us=30_000.0,
+            ),
+        ),
+        seed=11,
+        name="round-trip",
+    )
+    assert FaultPlan.loads(plan.dumps()) == plan
+
+
+def test_loads_validates():
+    text = '{"name": "bad", "seed": 0, "specs": [{"point": "nope"}]}'
+    with pytest.raises(ValueError, match="unknown injection point"):
+        FaultPlan.loads(text)
+
+
+def test_points_sorted_and_distinct():
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(point=fault_points.NEON_STALE_SCAN),
+            FaultSpec(point=fault_points.GPU_REQUEST_HANG),
+            FaultSpec(point=fault_points.NEON_STALE_SCAN, probability=0.5),
+        )
+    )
+    assert plan.points() == (
+        fault_points.GPU_REQUEST_HANG,
+        fault_points.NEON_STALE_SCAN,
+    )
+
+
+def test_compose_concatenates_and_picks_seed():
+    first = FaultPlan(
+        specs=(FaultSpec(point=fault_points.GPU_REQUEST_HANG),), seed=7
+    )
+    second = FaultPlan(
+        specs=(FaultSpec(point=fault_points.NEON_BARRIER_STALL),), seed=9
+    )
+    combined = FaultPlan.compose("combo", first, second)
+    assert combined.name == "combo"
+    assert combined.seed == 7  # first plan's seed wins by default
+    assert combined.specs == first.specs + second.specs
+    override = FaultPlan.compose("combo", first, second, seed=42)
+    assert override.seed == 42
+    assert FaultPlan.compose("empty").specs == ()

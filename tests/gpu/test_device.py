@@ -64,6 +64,36 @@ def test_kill_context_is_idempotent(sim, device, make_channel):
     assert context.dead
 
 
+def test_double_kill_emits_context_killed_once(sim):
+    from repro.gpu.device import GpuDevice
+    from repro.gpu.params import GpuParams
+    from repro.sim.trace import TraceRecorder
+
+    trace = TraceRecorder()
+    device = GpuDevice(sim, GpuParams(), trace)
+    context = device.create_context(Task("t"))
+    device.create_channel(context, RequestKind.COMPUTE)
+    device.kill_context(context)
+    device.kill_context(context)
+    kills = [r for r in trace.records() if r.kind == "context_killed"]
+    assert len(kills) == 1
+
+
+def test_double_kill_charges_cleanup_cost_once(sim, device, make_channel):
+    _, context, channel = make_channel("runaway")
+    _, _, victim_channel = make_channel("victim")
+    submit(device, channel, 1000.0)
+    sim.schedule(10.0, device.kill_context, context)
+    sim.schedule(10.0, device.kill_context, context)
+    victim = submit(device, victim_channel, 10.0)
+    sim.run()
+    cleanup = device.params.context_cleanup_us
+    # One cleanup stall delays the victim; a double-counted one would
+    # push it past a second stall's worth of time.
+    assert victim.finish_time >= 10.0 + cleanup
+    assert victim.finish_time < 10.0 + 2 * cleanup
+
+
 def test_kill_context_stalls_engine_for_cleanup(sim, device, make_channel):
     _, context_a, channel_a = make_channel("a")
     _, _, channel_b = make_channel("b")

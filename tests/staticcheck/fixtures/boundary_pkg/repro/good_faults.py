@@ -1,0 +1,18 @@
+"""A module whose arm sites all use registered injection-point constants."""
+
+from repro.faults import registry as fault_points
+from repro.faults.registry import GPU_REQUEST_HANG
+
+
+def run(faults, channel, graphics):
+    faults.arm(fault_points.GPU_REQUEST_HANG, channel.task.name)
+    faults.arm(GPU_REQUEST_HANG, channel.task.name)
+    faults.arm(point=fault_points.KERNEL_POLL_STALL)
+    faults.arm(
+        fault_points.NEON_BARRIER_STALL
+        if graphics
+        else fault_points.NEON_STALE_SCAN,
+    )
+    # Not an injector: other receivers are out of scope.
+    crossbow = object()
+    crossbow.arm("anything_goes")

@@ -1,0 +1,55 @@
+"""Injection-point rules (NEON403/NEON404): positives, negatives, scoping."""
+
+from repro.faults.registry import constant_names, registered_points
+from repro.staticcheck import Config, analyze_paths
+from repro.staticcheck.core import module_name_for
+
+from tests.staticcheck.conftest import rule_locations
+
+
+def faults_pkg(fixtures):
+    return fixtures / "boundary_pkg" / "repro"
+
+
+def test_bad_faults_fixture_flags_each_seeded_violation(fixtures):
+    violations = analyze_paths([faults_pkg(fixtures) / "bad_faults.py"], Config())
+    assert rule_locations(violations) == [
+        ("NEON403", 7),   # literal "gpu.request_hang"
+        ("NEON403", 8),   # literal point= kwarg
+        ("NEON404", 9),   # MY_PRIVATE_POINT not registered
+        ("NEON404", 10),  # fault_points.NOT_A_POINT not registered
+        ("NEON403", 12),  # literal branch of the conditional point
+        ("NEON403", 18),  # deep receiver self.device.faults.arm
+    ]
+
+
+def test_pragma_grants_audited_exception(fixtures):
+    violations = analyze_paths([faults_pkg(fixtures) / "bad_faults.py"], Config())
+    # Line 14 uses a literal point under ``# neonlint: allow[NEON403]``.
+    assert all(violation.line != 14 for violation in violations)
+
+
+def test_clean_faults_module_passes(fixtures):
+    assert analyze_paths([faults_pkg(fixtures) / "good_faults.py"], Config()) == []
+
+
+def test_fixture_resolves_to_in_scope_module_name(fixtures):
+    module = module_name_for(faults_pkg(fixtures) / "bad_faults.py")
+    assert module == "repro.bad_faults"
+    assert Config().is_fault_arm_module(module)
+
+
+def test_rules_scoped_to_configured_modules_only(fixtures):
+    # Out-of-scope modules (tests, chaos harness doubles) arm freely.
+    config = Config(fault_arm_modules=("somewhere.else",))
+    assert analyze_paths([faults_pkg(fixtures) / "bad_faults.py"], config) == []
+
+
+def test_registry_constants_cover_all_registered_points():
+    # Every registered point is reachable through a module constant, so
+    # NEON404's "use a registered constant" advice is always satisfiable.
+    from repro.faults import registry as registry_module
+
+    names = constant_names()
+    values = {getattr(registry_module, name) for name in names}
+    assert values == set(registered_points())
