@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Emit a committed performance snapshot (``BENCH_PR5.json``) at repo root.
+
+The snapshot is a bundle of ``repro perf`` run records, one per tracked
+experiment, captured with telemetry riding along::
+
+    PYTHONPATH=src python scripts/bench_snapshot.py
+    PYTHONPATH=src python scripts/bench_snapshot.py --duration-ms 60 \\
+        --repeats 3 -o BENCH_PR5.json
+
+It exists so the repository carries a perf trajectory: each PR that cares
+commits a fresh ``BENCH_PRn.json``, and CI gates new runs against the
+latest one (``repro perf gate --baseline BENCH_PR5.json ...``).  Wall
+times in the snapshot are min-of-N over ``--repeats`` cold runs, the
+standard noise-resistant estimator; the simulation metrics inside are
+deterministic per seed, so they double as a figure-drift fingerprint.
+
+The bundle shape (additive-only, like the record schema itself)::
+
+    {
+      "bench": "PR5",
+      "schema": 1,
+      "env": {...environment fingerprint...},
+      "records": {"figure4": {...run record...}, "figure6": {...}}
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.perf import record_run  # noqa: E402
+from repro.obs.store import RECORD_SCHEMA, environment_fingerprint  # noqa: E402
+
+#: Experiments tracked in the committed snapshot.  figure4 is the cheap
+#: canary (solo slowdown grid); figure6 exercises the pairwise farm.
+DEFAULT_EXPERIMENTS = ("figure4", "figure6")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Record the committed BENCH snapshot bundle.",
+    )
+    parser.add_argument(
+        "--experiments",
+        default=",".join(DEFAULT_EXPERIMENTS),
+        help="comma-separated experiment names "
+        f"(default: {','.join(DEFAULT_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--duration-ms", type=float, default=60.0,
+        help="simulated duration per run in milliseconds (default: 60)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="cell-farm process-pool size (default: 2)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="cold runs per experiment; wall_s is the min (default: 2)",
+    )
+    parser.add_argument(
+        "--bench", default="PR5", help="snapshot tag (default: PR5)",
+    )
+    parser.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="output path (default: BENCH_<tag>.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    names = [name.strip() for name in args.experiments.split(",") if name.strip()]
+    records = {}
+    for name in names:
+        print(
+            f"bench: recording {name} (duration {args.duration_ms:g} ms, "
+            f"workers {args.workers}, min of {args.repeats})...",
+            file=sys.stderr,
+        )
+        record, _output = record_run(
+            name,
+            duration_ms=args.duration_ms,
+            seed=args.seed,
+            workers=args.workers,
+            repeats=args.repeats,
+            no_cache=True,
+            note=f"bench_snapshot {args.bench}",
+        )
+        records[name] = record
+        print(
+            f"bench: {name} wall {record['wall_s']:.2f}s, "
+            f"{len(record['cells'])} cells",
+            file=sys.stderr,
+        )
+
+    bundle = {
+        "bench": args.bench,
+        "schema": RECORD_SCHEMA,
+        "env": environment_fingerprint(),
+        "records": records,
+    }
+    output = args.output or REPO_ROOT / f"BENCH_{args.bench}.json"
+    output.write_text(json.dumps(bundle, indent=2, sort_keys=True) + "\n")
+    print(f"bench: wrote {output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,8 @@ Runs any paper experiment and prints its table.  ``repro list`` shows the
 catalog; ``repro all`` regenerates everything (slow).  ``repro staticcheck``
 runs the neonlint static analyzer (see docs/STATIC_ANALYSIS.md).
 ``repro trace`` records, summarizes, filters, exports, and diffs
-structured traces (see docs/OBSERVABILITY.md).
+structured traces; ``repro perf`` records, tabulates, diffs, and gates
+cross-run performance records (see docs/OBSERVABILITY.md).
 
 Cell-farm experiments (the figure drivers) accept ``--workers N`` to fan
 independent simulation cells out over a process pool, and share a
@@ -120,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist cell results as JSON under this directory and reuse "
         "them across invocations",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live per-cell status on stderr while the cell farm runs "
+        "(plain lines when stderr is not a TTY); stdout is unchanged",
+    )
     return parser
 
 
@@ -158,6 +165,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.obs.cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "perf":
+        # And the cross-run telemetry CLI (record/history/compare/gate).
+        from repro.obs.perf import main as perf_main
+
+        return perf_main(argv[1:])
     if argv and argv[0] == "chaos":
         # And the fault-injection chaos matrix (matrix/run/plans); it is
         # deliberately not part of EXPERIMENTS so ``repro all`` output
@@ -181,14 +193,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # One cache for the whole invocation: ``repro all`` shares the solo
     # direct-access baselines across figure4/5, figure6/7, and figure9/10.
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    for name in names:
-        runner, _ = EXPERIMENTS[name]
-        print(f"== {name} ==")
-        timings: list[CellTiming] = []
-        _call_experiment(runner, args, cache, timings)
-        if timings:
-            print(f"[{name}] {format_cell_timings(timings)}", file=sys.stderr)
-        print()
+    if args.progress:
+        from contextlib import ExitStack
+
+        from repro.experiments.progress import CellProgress, progressing
+
+        stack = ExitStack()
+        stack.enter_context(progressing(CellProgress()))
+    else:
+        stack = None
+    try:
+        for name in names:
+            runner, _ = EXPERIMENTS[name]
+            print(f"== {name} ==")
+            timings: list[CellTiming] = []
+            _call_experiment(runner, args, cache, timings)
+            if timings:
+                print(f"[{name}] {format_cell_timings(timings)}", file=sys.stderr)
+            print()
+    finally:
+        if stack is not None:
+            stack.close()
     return 0
 
 

@@ -16,9 +16,20 @@ loop regardless of worker count.  Three mechanisms make it fast:
   workload specs) or any pool failure fall back to serial execution in
   the parent.
 
-Each cell's host wall time is recorded in a :class:`CellTiming`, so the
-speedup (or lack of it) is observable; the CLI prints the summary to
-stderr to keep stdout byte-identical to the serial seed output.
+Each cell's host wall time is recorded in a :class:`CellTiming` — pool
+cells measure it inside the worker, so it is the cell's own cost, not a
+collection-order artifact — and persisted alongside the cached result,
+so a warm-cache run still reports what its cells originally cost.  Three
+optional observers hook the same resolution points, all inert unless a
+run installs them (``repro perf record``, ``--progress``):
+
+* the host-phase profiler (:mod:`repro.obs.profile`) attributes wall
+  time to spec-build / cache-read / cache-write / cell-execute /
+  result-merge spans;
+* the run-record collector (:mod:`repro.obs.store`) captures per-cell
+  timings and metric snapshots for the append-only run store;
+* the progress renderer (:mod:`repro.experiments.progress`) shows live
+  per-cell status on stderr.
 
 This module is host-side orchestration, not simulation: it deliberately
 reads the wall clock (see ``host_clock_modules`` in neonlint's config) —
@@ -30,14 +41,17 @@ from __future__ import annotations
 import json
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.experiments.cells import CellSpec
+from repro.experiments.progress import active_progress
 from repro.experiments.runner import WorkloadResult
 from repro.metrics.rounds import RoundStats
+from repro.obs import profile as phases
+from repro.obs.store import RunCollector, active_collector
 
 CellResults = dict[str, WorkloadResult]
 
@@ -89,10 +103,16 @@ class ResultCache:
     In-memory always; when ``directory`` is given, results are also
     persisted as one JSON file per content key and reloaded lazily, so
     repeated CLI invocations (``--cache-dir``) skip finished cells.
+
+    Alongside each result the cache remembers the wall time originally
+    spent computing it (``wall_s`` in the JSON payload — an additive
+    field, so caches written before it existed still load), which lets
+    warm-cache runs report what their reused cells once cost.
     """
 
     def __init__(self, directory: Optional[Path] = None) -> None:
         self._memory: dict[str, CellResults] = {}
+        self._wall: dict[str, Optional[float]] = {}
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -114,38 +134,56 @@ class ResultCache:
             return found
         path = self._path(key)
         if path is not None and path.is_file():
-            payload = json.loads(path.read_text())
-            found = {
-                name: result_from_jsonable(entry)
-                for name, entry in payload["results"].items()
-            }
+            with phases.get_profiler().span(phases.CACHE_READ):
+                payload = json.loads(path.read_text())
+                found = {
+                    name: result_from_jsonable(entry)
+                    for name, entry in payload["results"].items()
+                }
             self._memory[key] = found
+            self._wall[key] = payload.get("wall_s")
             self.hits += 1
             return found
         self.misses += 1
         return None
 
-    def put(self, key: str, results: CellResults) -> None:
+    def wall_s(self, key: str) -> Optional[float]:
+        """Wall time originally spent computing ``key``, if known."""
+        return self._wall.get(key)
+
+    def put(
+        self, key: str, results: CellResults, wall_s: Optional[float] = None
+    ) -> None:
         self._memory[key] = results
+        if wall_s is not None or key not in self._wall:
+            self._wall[key] = wall_s
         path = self._path(key)
         if path is not None:
-            payload = {
-                "results": {
-                    name: result_to_jsonable(result)
-                    for name, result in results.items()
+            with phases.get_profiler().span(phases.CACHE_WRITE):
+                payload = {
+                    "results": {
+                        name: result_to_jsonable(result)
+                        for name, result in results.items()
+                    },
+                    "wall_s": self._wall[key],
                 }
-            }
-            path.write_text(json.dumps(payload))
+                path.write_text(json.dumps(payload))
 
 
 @dataclass(frozen=True)
 class CellTiming:
-    """Host wall time spent producing one cell's result."""
+    """Host wall time spent producing one cell's result.
+
+    ``wall_s`` is what *this* run paid; for reused cells (``cache`` /
+    ``dup``) that is ~0 and ``cached_wall_s`` carries what the cell cost
+    when it was originally computed, when the cache still knows.
+    """
 
     index: int
     label: str
     wall_s: float
     source: str  # "run" | "pool" | "cache" | "dup"
+    cached_wall_s: float = 0.0
 
 
 def format_cell_timings(timings: Sequence[CellTiming]) -> str:
@@ -156,10 +194,12 @@ def format_cell_timings(timings: Sequence[CellTiming]) -> str:
     reused = len(timings) - len(executed)
     total = sum(t.wall_s for t in timings)
     computed = sum(t.wall_s for t in executed)
+    saved = sum(t.cached_wall_s for t in timings if t.source not in ("run", "pool"))
+    saved_text = f", reuse saved {saved:.2f}s" if saved > 0 else ""
     lines = [
         f"cell farm: {len(timings)} cells "
         f"({len(executed)} executed, {reused} reused), "
-        f"wall {total:.2f}s (computed {computed:.2f}s)"
+        f"wall {total:.2f}s (computed {computed:.2f}s{saved_text})"
     ]
     slowest = sorted(executed, key=lambda t: (-t.wall_s, t.index))[:5]
     for timing in slowest:
@@ -170,9 +210,15 @@ def format_cell_timings(timings: Sequence[CellTiming]) -> str:
     return "\n".join(lines)
 
 
-def _execute_cell(spec: CellSpec) -> CellResults:
-    """Pool worker entry point: run one cell to completion."""
-    return spec.run()
+def _execute_cell(spec: CellSpec) -> tuple[CellResults, float]:
+    """Pool worker entry point: run one cell, measuring its own wall time.
+
+    Measuring inside the worker makes the per-cell cost real even under
+    concurrency (the parent only sees collection-order elapsed time).
+    """
+    started = time.perf_counter()
+    results = spec.run()
+    return results, time.perf_counter() - started
 
 
 def _picklable(spec: CellSpec) -> bool:
@@ -183,6 +229,39 @@ def _picklable(spec: CellSpec) -> bool:
     except Exception:
         return False
     return True
+
+
+def _collect_cell(
+    collector: Optional[RunCollector],
+    collected: set[int],
+    spec: CellSpec,
+    index: int,
+    key: Optional[str],
+    source: str,
+    wall_s: float,
+    cached_wall_s: float,
+    results: CellResults,
+) -> None:
+    """Report one resolved cell to the run-record collector, once."""
+    if collector is None or index in collected:
+        return
+    collected.add(index)
+    collector.add_cell(
+        index=index,
+        label=spec.label(),
+        key=key,
+        source=source,
+        wall_s=wall_s,
+        cached_wall_s=cached_wall_s,
+        duration_us=spec.duration_us,
+        workloads={
+            name: result_to_jsonable(result)
+            for name, result in results.items()
+        },
+        fault_plan=(
+            spec.fault_plan.name if spec.fault_plan is not None else None
+        ),
+    )
 
 
 def run_cells(
@@ -197,10 +276,19 @@ def run_cells(
     serial execution; output is identical either way.
     """
     clock = time.perf_counter
+    profiler = phases.get_profiler()
+    collector = active_collector()
+    progress = active_progress()
+    collected: set[int] = set()
+
     results: list[Optional[CellResults]] = [None] * len(specs)
-    keys: list[Optional[str]] = [
-        spec.content_key() if spec.cacheable else None for spec in specs
-    ]
+    with profiler.span(phases.SPEC_BUILD):
+        keys: list[Optional[str]] = [
+            spec.content_key() if spec.cacheable else None for spec in specs
+        ]
+
+    if progress is not None:
+        progress.begin(len(specs))
 
     # Resolve cache hits and intra-call duplicates first.
     first_owner: dict[str, int] = {}
@@ -213,10 +301,16 @@ def run_cells(
             cached = cache.get(key)
             if cached is not None:
                 results[index] = cached
+                cached_wall = cache.wall_s(key) or 0.0
                 if timings is not None:
                     timings.append(
-                        CellTiming(index, spec.label(), 0.0, "cache")
+                        CellTiming(index, spec.label(), 0.0, "cache",
+                                   cached_wall)
                     )
+                _collect_cell(collector, collected, spec, index, key,
+                              "cache", 0.0, cached_wall, cached)
+                if progress is not None:
+                    progress.cell_done(index, spec.label(), "cache", 0.0)
                 continue
         if key in first_owner:
             continue  # duplicate of an earlier pending cell
@@ -225,56 +319,98 @@ def run_cells(
 
     workers = max(1, min(int(workers), len(pending) or 1))
     use_pool = workers > 1 and all(_picklable(specs[i]) for i in pending)
+    computed_wall: dict[int, float] = {}
 
     if use_pool and pending:
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                started = clock()
-                futures = [
-                    (index, pool.submit(_execute_cell, specs[index]))
-                    for index in pending
-                ]
-                for index, future in futures:
-                    results[index] = future.result()
-                    if timings is not None:
-                        # Wall time per cell is not separable under
-                        # concurrency; charge elapsed-so-far deltas.
-                        elapsed = clock() - started
-                        started = clock()
-                        timings.append(
-                            CellTiming(
-                                index, specs[index].label(), elapsed, "pool"
-                            )
+                with profiler.span(phases.CELL_EXECUTE):
+                    futures = {
+                        pool.submit(_execute_cell, specs[index]): index
+                        for index in pending
+                    }
+                    remaining = set(futures)
+                    while remaining:
+                        done, remaining = wait(
+                            remaining, return_when=FIRST_COMPLETED
                         )
+                        for future in sorted(
+                            done, key=lambda f: futures[f]
+                        ):
+                            index = futures[future]
+                            cell_results, wall = future.result()
+                            results[index] = cell_results
+                            computed_wall[index] = wall
+                            if timings is not None:
+                                timings.append(
+                                    CellTiming(
+                                        index, specs[index].label(), wall,
+                                        "pool",
+                                    )
+                                )
+                            _collect_cell(
+                                collector, collected, specs[index], index,
+                                keys[index], "pool", wall, 0.0, cell_results,
+                            )
+                            if progress is not None:
+                                progress.cell_done(
+                                    index, specs[index].label(), "pool", wall
+                                )
         except Exception:
             # Broken pool, pickling edge case, interpreter without fork…
             # recompute everything serially; determinism makes this safe.
             for index in pending:
                 results[index] = None
             use_pool = False
+            if progress is not None:
+                progress.note("worker pool failed; falling back to serial")
+                progress.begin(len(specs))
 
     if not use_pool:
         for index in pending:
+            spec = specs[index]
+            if progress is not None:
+                progress.cell_running(index, spec.label())
             started = clock()
-            results[index] = specs[index].run()
+            try:
+                with profiler.span(phases.CELL_EXECUTE):
+                    results[index] = spec.run()
+            except Exception:
+                if progress is not None:
+                    progress.cell_failed(index, spec.label())
+                raise
+            wall = clock() - started
+            computed_wall[index] = wall
             if timings is not None:
-                timings.append(
-                    CellTiming(
-                        index, specs[index].label(), clock() - started, "run"
-                    )
-                )
+                timings.append(CellTiming(index, spec.label(), wall, "run"))
+            _collect_cell(collector, collected, spec, index, keys[index],
+                          "run", wall, 0.0, results[index])
+            if progress is not None:
+                progress.cell_done(index, spec.label(), "run", wall)
 
     # Fill caches and duplicate slots from the computed owners.
-    for index in pending:
-        key = keys[index]
-        if key is not None and cache is not None:
-            cache.put(key, results[index])
-    for index, key in enumerate(keys):
-        if results[index] is None and key is not None:
-            owner = first_owner[key]
-            results[index] = results[owner]
-            if timings is not None:
-                timings.append(CellTiming(index, specs[index].label(), 0.0, "dup"))
+    with profiler.span(phases.RESULT_MERGE):
+        for index in pending:
+            key = keys[index]
+            if key is not None and cache is not None:
+                cache.put(key, results[index], wall_s=computed_wall.get(index))
+        for index, key in enumerate(keys):
+            if results[index] is None and key is not None:
+                owner = first_owner[key]
+                results[index] = results[owner]
+                owner_wall = computed_wall.get(owner, 0.0)
+                if timings is not None:
+                    timings.append(
+                        CellTiming(index, specs[index].label(), 0.0, "dup",
+                                   owner_wall)
+                    )
+                _collect_cell(collector, collected, specs[index], index, key,
+                              "dup", 0.0, owner_wall, results[index])
+                if progress is not None:
+                    progress.cell_done(index, specs[index].label(), "dup", 0.0)
+
+    if progress is not None:
+        progress.end()
 
     missing = [index for index, result in enumerate(results) if result is None]
     if missing:  # pragma: no cover - defensive

@@ -130,6 +130,15 @@ def run_workloads(
     for workload in workloads:
         workload.start(env.sim, env.kernel, env.rng)
     env.sim.run(until=duration_us)
+    dropped = getattr(env.trace, "dropped", 0)
+    if dropped:
+        # Ring-buffer evictions make the trace partial; surface that in
+        # the cross-run record when one is being collected.
+        from repro.obs.store import active_collector
+
+        collector = active_collector()
+        if collector is not None:
+            collector.note_trace_dropped(dropped)
     engagement = env.scheduler.neon.engagement.snapshot(env.sim.now)
     results = {}
     for workload in workloads:

@@ -16,7 +16,12 @@ The observability layer sits *beside* the simulation, not inside it:
   overhead breakdown (drain wait / sampling / other engagement /
   free-run) from a trace alone.
 * :mod:`repro.obs.summary` — per-task trace summaries and trace diffs.
+* :mod:`repro.obs.profile` — host-phase wall-time profiler (the single
+  neonlint-whitelisted host-clock owner besides the cell farm).
+* :mod:`repro.obs.store` — append-only cross-run record store
+  (``repro perf``: record / history / compare / gate).
 * :mod:`repro.obs.cli` — the ``repro trace`` subcommand.
+* :mod:`repro.obs.perf` — the ``repro perf`` subcommand.
 
 Nothing here imports :mod:`repro.gpu` or :mod:`repro.osmodel`: analyses
 operate on recorded traces and snapshots, never on live ground truth.
@@ -25,6 +30,8 @@ operate on recorded traces and snapshots, never on live ground truth.
 from repro.obs.engagement import EngagementLedger
 from repro.obs.events import EVENT_KINDS, EventKindSpec, registered_kinds
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.profile import NullProfiler, PhaseProfiler, profiling
+from repro.obs.store import RunCollector, RunStore, collecting
 
 __all__ = [
     "EVENT_KINDS",
@@ -34,4 +41,10 @@ __all__ = [
     "Counter",
     "Histogram",
     "EngagementLedger",
+    "PhaseProfiler",
+    "NullProfiler",
+    "profiling",
+    "RunCollector",
+    "RunStore",
+    "collecting",
 ]

@@ -226,6 +226,13 @@ def cmd_summary(args: argparse.Namespace) -> int:
         f" ({summary.dropped} dropped),"
         f" span {first / 1000.0:.2f}..{last / 1000.0:.2f} ms"
     )
+    if summary.dropped:
+        print(
+            f"WARNING: ring buffer evicted {summary.dropped} records — "
+            "this trace is PARTIAL; per-task counts and the overhead "
+            "breakdown undercount early activity (raise --max-records "
+            "to capture everything)"
+        )
     print()
     print("per-task activity:")
     header = (

@@ -1,0 +1,457 @@
+"""The ``repro perf`` subcommand family: record, history, compare, gate.
+
+Cross-run performance telemetry for the evaluation harness::
+
+    repro perf record figure6 --duration-ms 60 --workers 2 --repeats 2
+    repro perf history --experiment figure6
+    repro perf compare last -2
+    repro perf gate --baseline BENCH_PR5.json --experiment figure4 \\
+        --threshold 100 --metric-threshold 2
+
+``record`` runs a named experiment exactly as ``repro <name>`` would —
+the experiment's table is still printed, byte-identical — while a
+:class:`~repro.obs.store.RunCollector` and a
+:class:`~repro.obs.profile.PhaseProfiler` ride along, and appends the
+resulting run record to the append-only store (default ``.repro/runs/``).
+With ``--repeats N`` the run executes N times (each on a cold in-run
+cache) and the record's ``wall_s`` is the **min over repeats** — the
+standard noise-resistant estimator for "how fast can this machine do
+it" — while ``wall_all_s`` keeps every sample.  Repeats double as a free
+determinism check: the captured stdout must be identical across them.
+
+``gate`` compares a record against a baseline file (a single record, or
+a ``BENCH_*.json`` bundle keyed by experiment) and exits nonzero on
+wall-time or metric regressions beyond the thresholds — wired into CI so
+a PR that slows the evaluation or silently shifts a figure fails loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import hashlib
+import io
+import json
+import sys
+from argparse import Namespace
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.metrics.tables import format_table
+from repro.obs.profile import PhaseProfiler, host_clock, profiling
+from repro.obs.store import (
+    GateMismatch,
+    RunCollector,
+    RunStore,
+    build_record,
+    collecting,
+    compare_records,
+    gate_records,
+    is_metric_path,
+)
+
+#: Default gate threshold (percent) for wall-time growth.
+DEFAULT_WALL_THRESHOLD_PCT = 20.0
+
+
+# ----------------------------------------------------------------------
+# Recording
+# ----------------------------------------------------------------------
+
+def record_run(
+    experiment: str,
+    duration_ms: Optional[float] = None,
+    seed: int = 0,
+    workers: int = 1,
+    repeats: int = 1,
+    cache_dir: Optional[Path] = None,
+    no_cache: bool = False,
+    note: Optional[str] = None,
+    progress: bool = False,
+) -> tuple[dict[str, Any], str]:
+    """Run ``experiment`` with telemetry; returns (record, captured stdout).
+
+    The record is *not* yet appended to a store (``run_id`` is None);
+    callers decide where it goes.  Each repeat gets a fresh in-run cache
+    so every wall sample is a cold computation.
+    """
+    # Imported lazily: the CLI table imports the experiment drivers, and
+    # repro.cli itself delegates to this module.
+    from repro.cli import EXPERIMENTS, _call_experiment
+    from repro.experiments.parallel import CellTiming, ResultCache
+    from repro.experiments.progress import CellProgress, progressing
+
+    try:
+        runner, _description = EXPERIMENTS[experiment]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise KeyError(
+            f"unknown experiment {experiment!r}; known: {known}"
+        ) from None
+
+    repeats = max(1, int(repeats))
+    walls: list[float] = []
+    outputs: list[str] = []
+    best: Optional[tuple[float, RunCollector, PhaseProfiler, int, int]] = None
+    args = Namespace(seed=seed, duration_ms=duration_ms, workers=workers)
+
+    for _repeat in range(repeats):
+        cache = None if no_cache else ResultCache(cache_dir)
+        collector = RunCollector(experiment)
+        profiler = PhaseProfiler()
+        timings: list[CellTiming] = []
+        buffer = io.StringIO()
+        renderer = (
+            progressing(CellProgress())
+            if progress
+            else contextlib.nullcontext()
+        )
+        started = host_clock()
+        with collecting(collector), profiling(profiler), renderer:
+            with contextlib.redirect_stdout(buffer):
+                _call_experiment(runner, args, cache, timings)
+        wall = host_clock() - started
+        walls.append(wall)
+        outputs.append(buffer.getvalue())
+        if best is None or wall < best[0]:
+            hits = cache.hits if cache is not None else 0
+            misses = cache.misses if cache is not None else 0
+            best = (wall, collector, profiler, hits, misses)
+
+    if any(output != outputs[0] for output in outputs[1:]):
+        print(
+            f"warning: {experiment} stdout differed across repeats — "
+            "the run is nondeterministic",
+            file=sys.stderr,
+        )
+
+    assert best is not None
+    _wall, collector, profiler, hits, misses = best
+    record = build_record(
+        collector,
+        profiler=profiler,
+        wall_s=min(walls),
+        wall_all_s=walls,
+        params={
+            "duration_ms": duration_ms,
+            "seed": seed,
+            "workers": workers,
+            "repeats": repeats,
+        },
+        cache_hits=hits,
+        cache_misses=misses,
+        output_sha256=hashlib.sha256(outputs[0].encode("utf-8")).hexdigest(),
+        note=note,
+    )
+    return record, outputs[0]
+
+
+# ----------------------------------------------------------------------
+# Record resolution
+# ----------------------------------------------------------------------
+
+def load_record_file(
+    path: Path, experiment: Optional[str] = None
+) -> dict[str, Any]:
+    """A record from a JSON file: single record or a BENCH-style bundle."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: not a JSON object")
+    records = data.get("records")
+    if isinstance(records, dict):  # BENCH_*.json bundle
+        if experiment is None:
+            if len(records) == 1:
+                return next(iter(records.values()))
+            known = ", ".join(sorted(records))
+            raise ValueError(
+                f"{path} holds records for {known}; pass --experiment"
+            )
+        if experiment not in records:
+            known = ", ".join(sorted(records))
+            raise ValueError(
+                f"{path} has no record for {experiment!r} (has: {known})"
+            )
+        return records[experiment]
+    return data
+
+
+def _resolve(
+    store: RunStore, token: str, experiment: Optional[str]
+) -> dict[str, Any]:
+    """A record by file path, run id, ``last``, or integer index."""
+    candidate = Path(token)
+    if candidate.suffix == ".json" or candidate.is_file():
+        return load_record_file(candidate, experiment)
+    return store.resolve(token, experiment=experiment)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+def cmd_record(args: argparse.Namespace) -> int:
+    try:
+        record, output = record_run(
+            args.experiment,
+            duration_ms=args.duration_ms,
+            seed=args.seed,
+            workers=args.workers,
+            repeats=args.repeats,
+            cache_dir=args.cache_dir,
+            no_cache=args.no_cache,
+            note=args.note,
+            progress=args.progress,
+        )
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    sys.stdout.write(output)
+    store = RunStore(args.store_dir)
+    record = store.append(record)
+    if args.output is not None:
+        Path(args.output).write_text(json.dumps(record, sort_keys=True) + "\n")
+    reused = sum(
+        1 for cell in record["cells"] if cell["source"] in ("cache", "dup")
+    )
+    print(
+        f"recorded {record['run_id']}: wall {record['wall_s']:.2f}s "
+        f"(min of {len(record['wall_all_s'])}), "
+        f"{len(record['cells'])} cells ({reused} reused) -> {store.path}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    store = RunStore(args.store_dir)
+    records = store.load(experiment=args.experiment)
+    if not records:
+        print(f"no run records in {store.path}", file=sys.stderr)
+        return 1
+    if args.limit is not None:
+        records = records[-args.limit:]
+    from repro.obs.store import flatten_record
+
+    headers = ["run", "when (UTC)", "wall s", "cells", "reused", "dropped"]
+    if args.metric:
+        headers.append(args.metric)
+    rows = []
+    for record in records:
+        stamp = record.get("unix_time")
+        when = (
+            datetime.fromtimestamp(stamp, timezone.utc).strftime(
+                "%Y-%m-%d %H:%M:%S"
+            )
+            if isinstance(stamp, (int, float))
+            else "-"
+        )
+        cells = record.get("cells") or []
+        reused = sum(1 for cell in cells if cell.get("source") in ("cache", "dup"))
+        row = [
+            record.get("run_id") or "-",
+            when,
+            f"{record.get('wall_s', 0.0):.2f}",
+            len(cells),
+            reused,
+            (record.get("trace") or {}).get("dropped", 0),
+        ]
+        if args.metric:
+            value = flatten_record(record).get(args.metric)
+            row.append("-" if value is None else f"{value:g}")
+        rows.append(row)
+    title = "perf history"
+    if args.experiment:
+        title += f" — {args.experiment}"
+    print(format_table(headers, rows, title=title))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    store = RunStore(args.store_dir)
+    try:
+        left = _resolve(store, args.left, args.experiment)
+        right = _resolve(store, args.right, args.experiment)
+    except (LookupError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    deltas = compare_records(left, right)
+    left_name = left.get("run_id") or args.left
+    right_name = right.get("run_id") or args.right
+    print(f"compare {left_name} -> {right_name}")
+    if not deltas:
+        print("records are numerically identical")
+        return 0
+    metric_deltas = {
+        path: pair for path, pair in deltas.items() if is_metric_path(path)
+    }
+    host_deltas = {
+        path: pair
+        for path, pair in deltas.items()
+        if path not in metric_deltas
+    }
+    if host_deltas:
+        print("host-side (wall, phases, cache):")
+        for path, (a, b) in host_deltas.items():
+            print(f"  {path:48s} {_fmt(a):>12s} -> {_fmt(b):>12s}")
+    if metric_deltas:
+        print("simulation metrics (cells.*):")
+        for path, (a, b) in metric_deltas.items():
+            print(f"  {path:48s} {_fmt(a):>12s} -> {_fmt(b):>12s}")
+    else:
+        print("simulation metrics (cells.*): identical")
+    # Host-side noise always differs; only metric drift is a finding.
+    return 1 if metric_deltas else 0
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:g}"
+
+
+def cmd_gate(args: argparse.Namespace) -> int:
+    store = RunStore(args.store_dir)
+    try:
+        baseline = load_record_file(args.baseline, args.experiment)
+        experiment = args.experiment or baseline.get("experiment")
+        current = _resolve(store, args.run, experiment)
+    except (LookupError, ValueError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        regressions = gate_records(
+            current,
+            baseline,
+            wall_threshold_pct=args.threshold,
+            metric_threshold_pct=args.metric_threshold,
+        )
+    except GateMismatch as error:
+        print(f"gate: records not comparable: {error}", file=sys.stderr)
+        return 2
+    current_name = current.get("run_id") or args.run
+    if regressions:
+        print(
+            f"gate FAILED: {current_name} vs {args.baseline} "
+            f"({len(regressions)} regression(s)):"
+        )
+        for regression in regressions:
+            print(f"  {regression.describe()}")
+        return 1
+    metric_threshold = (
+        args.metric_threshold
+        if args.metric_threshold is not None
+        else args.threshold
+    )
+    print(
+        f"gate ok: {current_name} within +{args.threshold:g}% wall / "
+        f"±{metric_threshold:g}% metrics of {args.baseline} "
+        f"(wall {current.get('wall_s', 0.0):.2f}s vs "
+        f"{baseline.get('wall_s', 0.0):.2f}s)"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser / entry point
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro perf",
+        description="Cross-run performance telemetry: record experiment "
+        "runs, tabulate history, diff records, gate regressions.",
+    )
+    parser.add_argument(
+        "--store-dir",
+        type=Path,
+        default=None,
+        help="run-record store directory (default: .repro/runs)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser(
+        "record", help="run an experiment and append its run record"
+    )
+    record.add_argument("experiment", help="experiment name (see 'repro list')")
+    record.add_argument("--duration-ms", type=float, default=None)
+    record.add_argument("--seed", type=int, default=0)
+    record.add_argument("--workers", type=int, default=1)
+    record.add_argument(
+        "--repeats", type=int, default=1,
+        help="run N times; wall_s is the min over repeats (default: 1)",
+    )
+    record.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="persist cell results under this directory (per repeat the "
+        "in-run cache starts cold regardless)",
+    )
+    record.add_argument("--no-cache", action="store_true")
+    record.add_argument("--note", default=None, help="free-form record note")
+    record.add_argument(
+        "--progress", action="store_true",
+        help="live per-cell progress on stderr",
+    )
+    record.add_argument(
+        "-o", "--output", default=None,
+        help="also write the single record as JSON to this path",
+    )
+
+    history = sub.add_parser(
+        "history", help="tabulate stored run records"
+    )
+    history.add_argument("--experiment", default=None)
+    history.add_argument(
+        "--metric", default=None,
+        help="dotted record path to tabulate "
+        "(e.g. cells.0.workloads.t0.metrics.submits)",
+    )
+    history.add_argument("--limit", type=int, default=None)
+
+    compare = sub.add_parser(
+        "compare", help="diff two run records (per-metric deltas)"
+    )
+    compare.add_argument("left", help="run id, 'last', index, or JSON file")
+    compare.add_argument("right", help="run id, 'last', index, or JSON file")
+    compare.add_argument("--experiment", default=None)
+
+    gate = sub.add_parser(
+        "gate", help="exit nonzero on regressions vs a baseline record"
+    )
+    gate.add_argument(
+        "--baseline", required=True, type=Path,
+        help="baseline record JSON (single record or BENCH_*.json bundle)",
+    )
+    gate.add_argument(
+        "--run", default="last",
+        help="record to gate: run id, 'last', index, or JSON file "
+        "(default: last)",
+    )
+    gate.add_argument("--experiment", default=None)
+    gate.add_argument(
+        "--threshold", type=float, default=DEFAULT_WALL_THRESHOLD_PCT,
+        help="max wall-time growth percent (default: "
+        f"{DEFAULT_WALL_THRESHOLD_PCT:g})",
+    )
+    gate.add_argument(
+        "--metric-threshold", type=float, default=None,
+        help="max metric drift percent, either direction "
+        "(default: same as --threshold)",
+    )
+
+    return parser
+
+
+_COMMANDS = {
+    "record": cmd_record,
+    "history": cmd_history,
+    "compare": cmd_compare,
+    "gate": cmd_gate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""Host-phase profiler: wall-time attribution for the orchestration layer.
+
+The simulation itself runs on virtual time and must never touch the host
+clock (neonlint NEON201).  The *orchestration* around it — building cell
+specs, waiting on pool workers, reading and writing the result cache,
+exporting traces, merging results — runs on real CPU and real disks, and
+the paper's own evaluation method (measure scheduler overhead precisely,
+then argue it away) applies to the repro harness too: if ``repro all``
+gets slower, we want to know *which host phase* ate the time.
+
+A :class:`PhaseProfiler` hands out :meth:`span` context managers that
+attribute elapsed wall time to named phases::
+
+    profiler = PhaseProfiler()
+    with profiler.span(CELL_EXECUTE):
+        results = spec.run()
+    profiler.snapshot()  # {"cell-execute": {"count": 1, "total_s": ...}}
+
+By default the module-level profiler is a :class:`NullProfiler` whose
+spans are a shared no-op object — no clock reads, no allocation, nothing
+for an untelemetered run to pay for.  ``repro perf record`` installs a
+real profiler for the duration of a run via :func:`profiling`.
+
+This module is the **only** non-farm module whitelisted for host-clock
+access (``host_clock_modules`` in neonlint's config).  Everything else
+that needs a host timestamp — the run-record store, the progress
+renderer — imports :func:`host_clock` / :func:`unix_now` from here so
+the exemption stays a single audited point.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: Canonical phase names used by the cell farm and the figure drivers.
+#: Free-form names are allowed; these keep cross-run records comparable.
+SPEC_BUILD = "spec-build"
+CELL_EXECUTE = "cell-execute"
+CACHE_READ = "cache-read"
+CACHE_WRITE = "cache-write"
+TRACE_EXPORT = "trace-export"
+RESULT_MERGE = "result-merge"
+
+PHASES = (
+    SPEC_BUILD,
+    CELL_EXECUTE,
+    CACHE_READ,
+    CACHE_WRITE,
+    TRACE_EXPORT,
+    RESULT_MERGE,
+)
+
+
+def host_clock() -> float:
+    """Monotonic host seconds (``time.perf_counter``).
+
+    The sanctioned wall-clock accessor for host-side orchestration code
+    that is *not* in ``host_clock_modules``: call this instead of
+    referencing ``time.perf_counter`` directly so neonlint keeps the
+    exemption surface at exactly one module.
+    """
+    return time.perf_counter()
+
+
+def unix_now() -> float:
+    """Seconds since the epoch (``time.time``) for run-record stamps."""
+    return time.time()
+
+
+class _Span:
+    """One active measurement; reusable as a context manager."""
+
+    __slots__ = ("profiler", "phase", "started")
+
+    def __init__(self, profiler: "PhaseProfiler", phase: str) -> None:
+        self.profiler = profiler
+        self.phase = phase
+        self.started = 0.0
+
+    def __enter__(self) -> "_Span":
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.profiler._record(self.phase, time.perf_counter() - self.started)
+
+
+class _NullSpan:
+    """Shared do-nothing span: no clock reads when profiling is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class PhaseProfiler:
+    """Aggregates wall time per named phase.
+
+    Phases are additive: overlapping spans of the same phase double-count
+    (callers should not nest a phase inside itself).  Totals are plain
+    floats keyed by phase name; :meth:`snapshot` renders them sorted so
+    persisted records are deterministic in shape.
+    """
+
+    #: Real profilers measure; the null profiler advertises False so hot
+    #: paths can skip even the span-object handshake.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._total_s: dict[str, float] = {}
+        self._count: dict[str, int] = {}
+
+    def span(self, phase: str) -> _Span:
+        """A context manager charging its elapsed wall time to ``phase``."""
+        return _Span(self, phase)
+
+    def _record(self, phase: str, elapsed_s: float) -> None:
+        self._total_s[phase] = self._total_s.get(phase, 0.0) + elapsed_s
+        self._count[phase] = self._count.get(phase, 0) + 1
+
+    def add(self, phase: str, elapsed_s: float) -> None:
+        """Charge an externally measured duration to ``phase``."""
+        self._record(phase, elapsed_s)
+
+    def total_s(self, phase: str) -> float:
+        return self._total_s.get(phase, 0.0)
+
+    def count(self, phase: str) -> int:
+        return self._count.get(phase, 0)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """``{phase: {"count": n, "total_s": seconds}}``, sorted by phase."""
+        return {
+            phase: {
+                "count": self._count[phase],
+                "total_s": self._total_s[phase],
+            }
+            for phase in sorted(self._total_s)
+        }
+
+
+class NullProfiler(PhaseProfiler):
+    """The default: every span is the shared no-op, nothing is recorded."""
+
+    enabled = False
+
+    def span(self, phase: str) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def add(self, phase: str, elapsed_s: float) -> None:
+        return None
+
+
+#: Module-level active profiler; NullProfiler unless a run installs one.
+_ACTIVE: PhaseProfiler = NullProfiler()
+
+
+def get_profiler() -> PhaseProfiler:
+    """The currently installed profiler (the null profiler by default)."""
+    return _ACTIVE
+
+
+@contextmanager
+def profiling(profiler: Optional[PhaseProfiler] = None) -> Iterator[PhaseProfiler]:
+    """Install ``profiler`` (or a fresh one) for the duration of the block."""
+    global _ACTIVE
+    if profiler is None:
+        profiler = PhaseProfiler()
+    previous = _ACTIVE
+    _ACTIVE = profiler
+    try:
+        yield profiler
+    finally:
+        _ACTIVE = previous

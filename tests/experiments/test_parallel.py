@@ -151,3 +151,92 @@ def test_timing_summary_mentions_cells_and_reuse():
 
 def test_empty_timing_summary():
     assert "no cells" in format_cell_timings([])
+
+
+def test_warm_cache_reports_original_cell_cost(tmp_path):
+    # The cache persists wall_s alongside each result, so a warm-cache
+    # run (even in a fresh process/cache instance) still knows what its
+    # reused cells originally cost.
+    specs = _quick_cells(count=2)
+    cold: list[CellTiming] = []
+    run_cells(specs, workers=1, cache=ResultCache(tmp_path), timings=cold)
+    warm: list[CellTiming] = []
+    run_cells(specs, workers=1, cache=ResultCache(tmp_path), timings=warm)
+    assert all(t.source == "cache" for t in warm)
+    original = {t.index: t.wall_s for t in cold}
+    for timing in warm:
+        assert timing.wall_s == 0.0
+        assert timing.cached_wall_s == original[timing.index]
+    summary = format_cell_timings(warm)
+    assert "reuse saved" in summary
+
+
+def test_dup_timings_carry_owner_wall():
+    spec = _quick_cells(count=1)[0]
+    timings: list[CellTiming] = []
+    run_cells([spec, spec], workers=1, timings=timings)
+    by_source = {t.source: t for t in timings}
+    assert by_source["dup"].cached_wall_s == by_source["run"].wall_s
+
+
+def test_old_cache_files_without_wall_still_load(tmp_path):
+    # Additive schema on disk: payloads written before wall_s existed
+    # (or with it stripped) must load, just without a reuse figure.
+    import json
+
+    specs = _quick_cells(count=1)
+    run_cells(specs, workers=1, cache=ResultCache(tmp_path))
+    path = next(tmp_path.glob("*.json"))
+    payload = json.loads(path.read_text())
+    del payload["wall_s"]
+    path.write_text(json.dumps(payload))
+    timings: list[CellTiming] = []
+    results = run_cells(
+        specs, workers=1, cache=ResultCache(tmp_path), timings=timings
+    )
+    assert results[0]["t0"].rounds.count >= 0
+    assert timings[0].source == "cache"
+    assert timings[0].cached_wall_s == 0.0
+
+
+def test_collector_captures_every_cell_once():
+    from repro.obs.store import RunCollector, collecting
+
+    cache = ResultCache()
+    spec_a, spec_b = _quick_cells(count=2)
+    collector = RunCollector("unit")
+    with collecting(collector):
+        run_cells([spec_a, spec_b, spec_a], workers=1, cache=cache)
+    assert [cell["index"] for cell in collector.cells] == [0, 1, 2]
+    sources = [cell["source"] for cell in collector.cells]
+    assert sorted(sources) == ["dup", "run", "run"]
+    assert collector.cells[0]["workloads"]["t0"]["metrics"]
+    # A second farm call under the same collector sees cache hits.
+    with collecting(collector):
+        run_cells([spec_a], workers=1, cache=cache)
+    assert collector.cells[-1]["source"] == "cache"
+    assert collector.sim_time_us == 2 * 5_000.0
+
+
+def test_progress_renderer_emits_plain_lines_when_not_a_tty(capsys):
+    import io
+
+    from repro.experiments.progress import CellProgress, progressing
+
+    stream = io.StringIO()  # not a TTY -> plain line mode
+    with progressing(CellProgress(stream)):
+        run_cells(_quick_cells(count=2), workers=1)
+    out = stream.getvalue()
+    assert "cell[0] run" in out
+    assert "cell[1] run" in out
+    assert "2/2 cells" in out
+    # Nothing leaks to stdout: tables stay byte-identical.
+    assert capsys.readouterr().out == ""
+
+
+def test_no_observers_is_the_default_and_free():
+    from repro.experiments.progress import active_progress
+    from repro.obs.store import active_collector
+
+    assert active_collector() is None
+    assert active_progress() is None

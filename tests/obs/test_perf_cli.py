@@ -1,0 +1,173 @@
+"""``repro perf`` end to end: record, history, compare, gate on real runs."""
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.obs.perf import load_record_file, record_run
+from repro.obs.store import RunStore
+
+#: Short horizon: the full figure4 grid in well under a second.
+DURATION = "5"
+
+
+def perf(*argv):
+    return repro_main(["perf", *argv])
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    return tmp_path / "runs"
+
+
+@pytest.fixture
+def recorded(store_dir, capsys):
+    """Two recorded figure4 runs; returns (store, captured stderr)."""
+    for _ in range(2):
+        assert perf(
+            "--store-dir", str(store_dir),
+            "record", "figure4", "--duration-ms", DURATION, "--no-cache",
+        ) == 0
+    captured = capsys.readouterr()
+    return RunStore(store_dir), captured
+
+
+def test_record_appends_and_reprints_the_table(recorded):
+    store, captured = recorded
+    records = store.load()
+    assert [r["run_id"] for r in records] == ["figure4-0001", "figure4-0002"]
+    # The experiment table still lands on stdout, the summary on stderr.
+    assert "slowdown" in captured.out.lower() or "figure 4" in captured.out.lower()
+    assert "recorded figure4-0001" in captured.err
+    assert records[0]["cells"]
+    assert records[0]["sim_time_us"] > 0
+
+
+def test_record_run_records_identical_metrics_across_runs(tmp_path):
+    first, out1 = record_run("figure4", duration_ms=5.0, no_cache=True)
+    second, out2 = record_run("figure4", duration_ms=5.0, no_cache=True)
+    assert out1 == out2  # determinism: same seed, same table
+    assert first["output_sha256"] == second["output_sha256"]
+    from repro.obs.store import compare_records, is_metric_path
+
+    deltas = compare_records(first, second)
+    assert [path for path in deltas if is_metric_path(path)] == []
+
+
+def test_record_unknown_experiment_fails_cleanly(store_dir, capsys):
+    assert perf("--store-dir", str(store_dir), "record", "figure99") == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_record_writes_single_record_output_file(store_dir, tmp_path, capsys):
+    out = tmp_path / "rec.json"
+    assert perf(
+        "--store-dir", str(store_dir),
+        "record", "figure4", "--duration-ms", DURATION, "--no-cache",
+        "-o", str(out),
+    ) == 0
+    capsys.readouterr()
+    record = load_record_file(out)
+    assert record["run_id"] == "figure4-0001"
+    assert record["experiment"] == "figure4"
+
+
+def test_history_tabulates_runs(recorded, capsys):
+    store, _ = recorded
+    assert perf("--store-dir", str(store.directory), "history") == 0
+    out = capsys.readouterr().out
+    assert "figure4-0001" in out
+    assert "figure4-0002" in out
+    assert "wall s" in out
+
+
+def test_history_with_metric_column(recorded, capsys):
+    store, _ = recorded
+    assert perf(
+        "--store-dir", str(store.directory), "history",
+        "--metric", "cells.0.duration_us",
+    ) == 0
+    out = capsys.readouterr().out
+    assert "cells.0.duration_us" in out
+    assert "5000" in out
+
+
+def test_history_empty_store(store_dir, capsys):
+    assert perf("--store-dir", str(store_dir), "history") == 1
+    assert "no run records" in capsys.readouterr().err
+
+
+def test_compare_two_runs_has_no_metric_drift(recorded, capsys):
+    store, _ = recorded
+    assert perf("--store-dir", str(store.directory), "compare", "-2", "last") == 0
+    out = capsys.readouterr().out
+    assert "simulation metrics (cells.*): identical" in out
+
+
+def test_gate_last_run_against_first_as_file(recorded, tmp_path, capsys):
+    store, _ = recorded
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(store.load()[0]))
+    assert perf(
+        "--store-dir", str(store.directory),
+        "gate", "--baseline", str(baseline), "--threshold", "10000",
+    ) == 0
+    assert "gate ok" in capsys.readouterr().out
+
+
+def test_gate_fails_on_forced_regression(recorded, tmp_path, capsys):
+    store, _ = recorded
+    doctored = store.load()[0]
+    doctored["wall_s"] = 1e-9  # any real run is slower than this
+    baseline = tmp_path / "bad.json"
+    baseline.write_text(json.dumps(doctored))
+    assert perf(
+        "--store-dir", str(store.directory),
+        "gate", "--baseline", str(baseline), "--threshold", "50",
+    ) == 1
+    out = capsys.readouterr().out
+    assert "gate FAILED" in out
+    assert "wall" in out
+
+
+def test_gate_mismatch_exits_2(recorded, tmp_path, capsys):
+    store, _ = recorded
+    doctored = store.load()[0]
+    doctored["params"]["duration_ms"] = 999.0
+    baseline = tmp_path / "mismatch.json"
+    baseline.write_text(json.dumps(doctored))
+    assert perf(
+        "--store-dir", str(store.directory),
+        "gate", "--baseline", str(baseline),
+    ) == 2
+    assert "not comparable" in capsys.readouterr().err
+
+
+def test_bundle_baseline_requires_matching_experiment(recorded, tmp_path, capsys):
+    store, _ = recorded
+    bundle = {
+        "bench": "TEST",
+        "records": {"figure4": store.load()[0], "figure6": store.load()[1]},
+    }
+    path = tmp_path / "BENCH_TEST.json"
+    path.write_text(json.dumps(bundle))
+    record = load_record_file(path, "figure4")
+    assert record["run_id"] == "figure4-0001"
+    with pytest.raises(ValueError):
+        load_record_file(path, "figure9")
+    with pytest.raises(ValueError):
+        load_record_file(path)  # ambiguous without --experiment
+    assert perf(
+        "--store-dir", str(store.directory),
+        "gate", "--baseline", str(path), "--experiment", "figure4",
+        "--threshold", "10000",
+    ) == 0
+    capsys.readouterr()
+
+
+def test_repeats_takes_min_wall_and_keeps_all_samples(tmp_path):
+    record, _ = record_run("figure4", duration_ms=5.0, repeats=2, no_cache=True)
+    assert len(record["wall_all_s"]) == 2
+    assert record["wall_s"] == min(record["wall_all_s"])
+    assert record["params"]["repeats"] == 2

@@ -1,0 +1,72 @@
+"""Host-phase profiler: spans, snapshots, null behavior, installation."""
+
+from repro.obs import profile
+from repro.obs.profile import (
+    NullProfiler,
+    PhaseProfiler,
+    get_profiler,
+    profiling,
+)
+
+
+def test_span_records_elapsed_time_and_count():
+    profiler = PhaseProfiler()
+    with profiler.span(profile.CELL_EXECUTE):
+        pass
+    with profiler.span(profile.CELL_EXECUTE):
+        pass
+    assert profiler.count(profile.CELL_EXECUTE) == 2
+    assert profiler.total_s(profile.CELL_EXECUTE) >= 0.0
+
+
+def test_add_charges_external_measurements():
+    profiler = PhaseProfiler()
+    profiler.add(profile.CACHE_READ, 0.25)
+    profiler.add(profile.CACHE_READ, 0.75)
+    assert profiler.total_s(profile.CACHE_READ) == 1.0
+    assert profiler.count(profile.CACHE_READ) == 2
+
+
+def test_snapshot_shape_is_sorted_and_json_like():
+    profiler = PhaseProfiler()
+    profiler.add(profile.SPEC_BUILD, 0.5)
+    profiler.add(profile.CACHE_WRITE, 0.1)
+    snapshot = profiler.snapshot()
+    assert list(snapshot) == sorted(snapshot)
+    assert snapshot[profile.SPEC_BUILD] == {"count": 1, "total_s": 0.5}
+
+
+def test_span_records_even_when_the_block_raises():
+    profiler = PhaseProfiler()
+    try:
+        with profiler.span(profile.RESULT_MERGE):
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    assert profiler.count(profile.RESULT_MERGE) == 1
+
+
+def test_null_profiler_records_nothing():
+    null = NullProfiler()
+    assert not null.enabled
+    with null.span(profile.CELL_EXECUTE):
+        pass
+    null.add(profile.CELL_EXECUTE, 1.0)
+    assert null.snapshot() == {}
+    # Null spans are a shared object: no per-span allocation.
+    assert null.span("a") is null.span("b")
+
+
+def test_profiling_installs_and_restores():
+    default = get_profiler()
+    assert isinstance(default, NullProfiler)
+    with profiling() as profiler:
+        assert get_profiler() is profiler
+        assert profiler.enabled
+    assert get_profiler() is default
+
+
+def test_unknown_phase_names_are_allowed():
+    profiler = PhaseProfiler()
+    profiler.add("custom-phase", 0.1)
+    assert profiler.total_s("custom-phase") == 0.1

@@ -1,0 +1,23 @@
+"""Host-clock discipline violations (neonlint test fixture; never imported).
+
+A repro module outside the audited host-clock surface
+(``repro.experiments.parallel``, ``repro.obs.profile``) must not read
+the wall clock — simulation code takes time from the virtual clock, and
+host-side code takes it from :func:`repro.obs.profile.host_clock`.
+"""
+
+import time
+from time import perf_counter
+
+
+def measure_phase():
+    started = time.perf_counter()
+    return time.perf_counter() - started
+
+
+def aliased_clock():
+    return perf_counter()
+
+
+def stamp_run():
+    return time.time()

@@ -81,11 +81,29 @@ def test_host_clock_modules_exempt_from_wall_clock_rule(tmp_path):
     assert exempt == []
 
 
-def test_default_config_exempts_parallel_farm_only():
+def test_default_config_exempts_audited_host_clock_surface_only():
+    # Exactly two modules may read the host clock: the cell farm and the
+    # phase profiler (everything else gets time via profile.host_clock).
     config = Config()
     assert config.is_host_clock_module("repro.experiments.parallel")
+    assert config.is_host_clock_module("repro.obs.profile")
     assert not config.is_host_clock_module("repro.experiments.runner")
+    assert not config.is_host_clock_module("repro.experiments.progress")
+    assert not config.is_host_clock_module("repro.obs.store")
+    assert not config.is_host_clock_module("repro.obs.perf")
     assert not config.is_host_clock_module("repro.sim.engine")
+
+
+def test_bad_host_clock_fixture_flags_every_clock_read(fixtures):
+    # perf_counter in a module outside the audited surface is NEON201 —
+    # both dotted calls, the from-import alias, and time.time().
+    violations = analyze_paths([fixtures / "bad_host_clock.py"], Config())
+    assert rule_locations(violations) == [
+        ("NEON201", 14),  # time.perf_counter() (start)
+        ("NEON201", 15),  # time.perf_counter() (stop)
+        ("NEON201", 19),  # aliased perf_counter()
+        ("NEON201", 23),  # time.time()
+    ]
 
 
 def test_numpy_alias_tracking(tmp_path):
