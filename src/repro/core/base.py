@@ -71,9 +71,7 @@ class SchedulerBase:
         """A task exited or was killed; default drops it from management."""
         if task in self.managed_tasks:
             self.managed_tasks.remove(task)
-        for channel in list(self.neon.channels.values()):
-            if channel.task is task:
-                self.neon.untrack(channel)
+        self.neon.release_task(task)
 
     def _manage(self, task: "Task") -> bool:
         """Add a task to the managed set; True if newly added."""

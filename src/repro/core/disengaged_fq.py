@@ -192,8 +192,8 @@ class DisengagedFairQueueing(SchedulerBase):
         total = 0.0
         count = 0
         for channel in self.neon.channels_of(task):
-            observation = self.neon.observations.get(channel.channel_id)
-            if observation is None or observation.sizes.sample_count == 0:
+            observation = self.neon.observation(channel)
+            if observation.sizes.sample_count == 0:
                 continue
             total += observation.sizes.mean * observation.sizes.sample_count
             count += observation.sizes.sample_count

@@ -91,6 +91,18 @@ class InterceptionManager:
     def observation(self, channel: "Channel") -> ChannelObservations:
         return self.observations[channel.channel_id]
 
+    def release_task(self, task: "Task") -> None:
+        """Drop every channel of an exited task, dead or alive.
+
+        Unlike :meth:`channels_of` (live channels only), task teardown
+        must also finalize dead channels' engagement accounting, so the
+        sweep lives here rather than in scheduler code — schedulers never
+        iterate the raw channel table.
+        """
+        for channel in list(self.channels.values()):
+            if channel.task is task:
+                self.untrack(channel)
+
     # ------------------------------------------------------------------
     # Engagement control (page protection)
     # ------------------------------------------------------------------

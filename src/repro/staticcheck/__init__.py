@@ -8,32 +8,46 @@ flows through :class:`~repro.neon.interception.InterceptionManager`", and
 this package machine-checks it, the way the eBPF verifier checks GPU
 scheduling policies in the extensible-OS-policy line of work.
 
-Three rule families:
+Five rule families, in two layers:
 
-* **boundary** (``NEON1xx``) — modules under ``repro.core`` may not import
-  ``repro.gpu``/``repro.osmodel`` internals at runtime nor dereference
-  ground-truth channel/device attributes;
-* **determinism** (``NEON2xx``) — no wall clocks, no stdlib ``random``,
-  no unseeded/global numpy RNG outside the seeded-stream registry, no
-  iteration over unordered sets;
-* **generator discipline** (``NEON3xx``) — virtual-time-consuming
+* **boundary** (``NEON1xx``, per-file) — modules under ``repro.core`` may
+  not import ``repro.gpu``/``repro.osmodel`` internals at runtime nor
+  dereference ground-truth channel/device attributes;
+* **determinism** (``NEON2xx``, per-file) — no wall clocks, no stdlib
+  ``random``, no unseeded/global numpy RNG outside the seeded-stream
+  registry, no iteration over unordered sets;
+* **generator discipline** (``NEON3xx``, per-file) — virtual-time-consuming
   generator methods must be driven with ``yield from``; engagement flip
-  counts must not be silently discarded.
+  counts must not be silently discarded;
+* **typed registries** (``NEON4xx``, per-file) — trace event kinds and
+  fault injection points must be registered constants, never literals;
+* **whole-program** (``NEON5xx``) — over a linked module/import/call
+  graph of all of ``src/``: no boundary taint laundered through helper
+  modules (the finding carries the full call chain), no RNG streams
+  flowing into client modules, observation clients restricted to the
+  declared ``InterceptionManager`` API, no dead registry entries, no
+  unused imports (re-export aware).
 
-Run it with ``python -m repro.staticcheck src`` or ``repro staticcheck``.
-See ``docs/STATIC_ANALYSIS.md`` for the full rule catalog and the
-allowlist format.
+Run it with ``python -m repro.staticcheck src`` or ``repro staticcheck``;
+``--format sarif`` exports to code scanning, ``--fix`` applies mechanical
+autofixes, ``neonlint-baseline.json`` ratchets grandfathered findings.
+See ``docs/STATIC_ANALYSIS.md`` for the full rule catalog, the baseline
+workflow, and the whole-program-rule authoring guide.
 """
 
 from repro.staticcheck.config import Config, load_config
 from repro.staticcheck.core import Violation, analyze_paths, collect_files
+from repro.staticcheck.engine import AnalysisResult, AnalysisStats, run_analysis
 from repro.staticcheck.rules import RULES
 
 __all__ = [
+    "AnalysisResult",
+    "AnalysisStats",
     "Config",
     "RULES",
     "Violation",
     "analyze_paths",
     "collect_files",
     "load_config",
+    "run_analysis",
 ]

@@ -1,0 +1,182 @@
+"""Baseline files: fingerprint-based grandfathering of known findings.
+
+A baseline turns neonlint into a ratchet: findings recorded in the
+committed baseline are suppressed (they predate the rule that caught
+them), anything *new* fails the build, and ``--update-baseline``
+regenerates the file.  The committed baseline is expected to shrink over
+time — CI runs with ``--strict-baseline``, which fails when the baseline
+carries *stale* entries no longer matched by any finding, so paying down
+a grandfathered violation forces the entry's removal in the same PR.
+
+Fingerprints must survive unrelated edits (line drift, renames above the
+finding) while still pinning the finding itself.  Each is a SHA-256 over
+
+* the rule id,
+* the file's repo-relative path suffix,
+* the violation message with line/column digits normalized out (NEON501
+  chains embed line numbers that drift),
+* the source text of the anchored line, whitespace-stripped.
+
+Line numbers are deliberately *not* part of the hash.  Two identical
+findings on identical source lines in one file share a fingerprint; the
+matcher consumes baseline entries multiset-style so N occurrences need N
+entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import re
+from collections import Counter
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.staticcheck.core import Violation
+
+#: Baseline file schema version (additive changes only).
+BASELINE_SCHEMA = 1
+
+#: Default baseline filename, discovered by walking up from checked paths.
+BASELINE_FILENAME = "neonlint-baseline.json"
+
+_NUMBER_RE = re.compile(r"\b\d+\b")
+
+
+def _normalize_message(message: str) -> str:
+    return _NUMBER_RE.sub("N", message)
+
+
+def _path_suffix(path: str, parts: int = 4) -> str:
+    return "/".join(Path(path).as_posix().split("/")[-parts:])
+
+
+def _anchor_line_text(violation: Violation, source_cache: dict[str, list[str]]) -> str:
+    lines = source_cache.get(violation.path)
+    if lines is None:
+        try:
+            lines = Path(violation.path).read_text(encoding="utf-8").splitlines()
+        except OSError:
+            lines = []
+        source_cache[violation.path] = lines
+    if 1 <= violation.line <= len(lines):
+        return lines[violation.line - 1].strip()
+    return ""
+
+
+def fingerprint(
+    violation: Violation, source_cache: Optional[dict[str, list[str]]] = None
+) -> str:
+    """Stable fingerprint for one finding; see the module docstring."""
+    if source_cache is None:
+        source_cache = {}
+    payload = "\x1f".join(
+        (
+            violation.rule_id,
+            _path_suffix(violation.path),
+            _normalize_message(violation.message),
+            _anchor_line_text(violation, source_cache),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+@dataclasses.dataclass
+class BaselineResult:
+    """Outcome of matching findings against a baseline."""
+
+    #: Findings not covered by the baseline — these fail the build.
+    new: list[Violation]
+    #: Findings suppressed by a baseline entry.
+    suppressed: list[Violation]
+    #: Baseline entries (fingerprint -> unmatched count) nothing matched.
+    stale: dict[str, int]
+
+
+class Baseline:
+    """An on-disk set of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: Optional[list[dict]] = None) -> None:
+        self.entries: list[dict] = list(entries or [])
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or "entries" not in data:
+            raise ValueError(f"{path}: not a neonlint baseline file")
+        entries = data["entries"]
+        if not isinstance(entries, list):
+            raise ValueError(f"{path}: baseline 'entries' must be a list")
+        return cls(entries)
+
+    @classmethod
+    def from_violations(
+        cls, violations: Sequence[Violation]
+    ) -> "Baseline":
+        source_cache: dict[str, list[str]] = {}
+        entries = [
+            {
+                "fingerprint": fingerprint(violation, source_cache),
+                "rule": violation.rule_id,
+                "path": _path_suffix(violation.path),
+                "message": violation.message.splitlines()[0][:200],
+            }
+            for violation in violations
+        ]
+        entries.sort(key=lambda entry: (entry["rule"], entry["path"], entry["fingerprint"]))
+        return cls(entries)
+
+    def write(self, path: Path) -> None:
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "tool": "neonlint",
+            "entries": self.entries,
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def apply(self, violations: Sequence[Violation]) -> BaselineResult:
+        """Split findings into new vs suppressed; count stale entries.
+
+        Entries are consumed multiset-style: a fingerprint occurring
+        twice in the baseline suppresses at most two findings.
+        """
+        budget = Counter(entry["fingerprint"] for entry in self.entries)
+        source_cache: dict[str, list[str]] = {}
+        new: list[Violation] = []
+        suppressed: list[Violation] = []
+        for violation in violations:
+            print_ = fingerprint(violation, source_cache)
+            if budget.get(print_, 0) > 0:
+                budget[print_] -= 1
+                suppressed.append(violation)
+            else:
+                new.append(violation)
+        stale = {print_: count for print_, count in budget.items() if count > 0}
+        return BaselineResult(new=new, suppressed=suppressed, stale=stale)
+
+
+def discover_baseline(near: Sequence[Path]) -> Optional[Path]:
+    """Walk upward from the checked paths looking for the baseline file."""
+    for start in near:
+        base = Path(start).resolve()
+        if not base.is_dir():
+            base = base.parent
+        for candidate_dir in [base, *base.parents]:
+            candidate = candidate_dir / BASELINE_FILENAME
+            if candidate.is_file():
+                return candidate
+            # Stop at the project root: don't wander into $HOME.
+            if (candidate_dir / "pyproject.toml").is_file():
+                break
+    return None
+
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "BASELINE_SCHEMA",
+    "Baseline",
+    "BaselineResult",
+    "discover_baseline",
+    "fingerprint",
+]

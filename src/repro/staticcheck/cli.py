@@ -1,18 +1,41 @@
 """``python -m repro.staticcheck`` / ``repro staticcheck`` — the CLI.
 
-Exit codes: 0 clean, 1 violations found, 2 usage error (unknown path or
-unreadable config).
+Modes layered on the analysis engine:
+
+* default — full run (per-file + whole-program rules), findings matched
+  against the committed baseline when one is discoverable; only *new*
+  findings fail.
+* ``--changed`` — pre-commit mode: report only findings anchored in
+  files changed since ``git merge-base HEAD main`` (the project model
+  still links everything, so whole-program rules stay sound).
+* ``--fix`` — apply the mechanical autofixes (NEON401/403/505), then
+  re-analyze and report what remains.
+* ``--update-baseline`` — regenerate the baseline from current findings.
+* ``--stats`` — print engine timing/coverage counters and append them to
+  the run-record store (``repro perf`` reads the same store).
+
+Exit codes: 0 clean (or all findings baselined), 1 new violations (or
+stale baseline entries under ``--strict-baseline``), 2 usage error
+(unknown path, unreadable config/baseline, git failure in --changed).
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.staticcheck.baseline import (
+    BASELINE_FILENAME,
+    Baseline,
+    BaselineResult,
+    discover_baseline,
+)
 from repro.staticcheck.config import load_config
-from repro.staticcheck.core import analyze_paths, collect_files
+from repro.staticcheck.engine import run_analysis
+from repro.staticcheck.fix import apply_fixes
 from repro.staticcheck.report import format_report
 from repro.staticcheck.rules import RULES
 
@@ -22,8 +45,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.staticcheck",
         description=(
             "neonlint: enforce the disengagement boundary, simulation "
-            "determinism, and virtual-time generator discipline "
-            "(docs/STATIC_ANALYSIS.md)."
+            "determinism, virtual-time generator discipline, and the "
+            "whole-program isolation proofs (docs/STATIC_ANALYSIS.md)."
         ),
     )
     parser.add_argument(
@@ -34,7 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -45,11 +68,141 @@ def build_parser() -> argparse.ArgumentParser:
         help="TOML config overriding [tool.neonlint] discovery",
     )
     parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: discover {BASELINE_FILENAME} upward)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline; report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from current findings and exit 0",
+    )
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="fail when the baseline carries stale (unmatched) entries",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply mechanical autofixes (NEON401/403/505), then re-check",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="only report findings in files changed vs merge-base with main",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool workers for per-file rules (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-whole-program",
+        action="store_true",
+        help="skip the NEON5xx whole-program layer (per-file rules only)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine stats to stderr and record them in the run store",
+    )
+    parser.add_argument(
+        "--store-dir",
+        type=Path,
+        default=None,
+        help="run-record store directory for --stats (default: .repro/runs)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
     )
     return parser
+
+
+def _changed_files(paths: Sequence[Path]) -> Optional[list[Path]]:
+    """Files changed vs ``merge-base(HEAD, main)`` plus untracked files.
+
+    Returns None when git is unavailable or the worktree is not a repo
+    (the caller treats that as a usage error in ``--changed`` mode).
+    """
+    def _git(*argv: str) -> Optional[str]:
+        try:
+            proc = subprocess.run(
+                ["git", *argv], capture_output=True, text=True, check=False
+            )
+        except OSError:
+            return None
+        return proc.stdout if proc.returncode == 0 else None
+
+    base = None
+    for candidate in ("main", "origin/main", "master"):
+        out = _git("merge-base", "HEAD", candidate)
+        if out is not None:
+            base = out.strip()
+            break
+    if base is None:
+        out = _git("rev-parse", "HEAD")
+        if out is None:
+            return None
+        base = out.strip()
+    diff = _git("diff", "--name-only", base)
+    untracked = _git("ls-files", "--others", "--exclude-standard")
+    if diff is None or untracked is None:
+        return None
+    top = _git("rev-parse", "--show-toplevel")
+    root = Path(top.strip()) if top else Path.cwd()
+    changed: list[Path] = []
+    for line in (diff + untracked).splitlines():
+        line = line.strip()
+        if line.endswith(".py"):
+            candidate = root / line
+            if candidate.is_file():
+                changed.append(candidate)
+    return changed
+
+
+def _resolve_baseline(
+    args: argparse.Namespace, paths: Sequence[Path]
+) -> tuple[Optional[Baseline], Optional[Path]]:
+    if args.no_baseline:
+        return None, None
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = discover_baseline(paths)
+    if baseline_path is None:
+        return None, None
+    if not Path(baseline_path).is_file():
+        if args.update_baseline:
+            return None, Path(baseline_path)
+        raise OSError(f"baseline file not found: {baseline_path}")
+    return Baseline.load(Path(baseline_path)), Path(baseline_path)
+
+
+def _record_stats(args: argparse.Namespace, stats) -> None:
+    from repro.obs.store import RunCollector, RunStore, build_record
+
+    collector = RunCollector(experiment="staticcheck")
+    record = build_record(
+        collector,
+        wall_s=stats.wall_s,
+        params=stats.as_dict(),
+        note="neonlint --stats",
+    )
+    store = RunStore(args.store_dir)
+    appended = store.append(record)
+    print(
+        f"stats recorded: {appended['run_id']} -> {store.path}",
+        file=sys.stderr,
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -71,10 +224,106 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: could not load config: {exc}", file=sys.stderr)
         return 2
 
-    files_checked = len(collect_files(paths))
-    violations = analyze_paths(paths, config)
-    print(format_report(violations, files_checked, args.format))
-    return 1 if violations else 0
+    restrict_to: Optional[list[Path]] = None
+    if args.changed:
+        restrict_to = _changed_files(paths)
+        if restrict_to is None:
+            print(
+                "error: --changed requires a git worktree "
+                "(merge-base/diff failed)",
+                file=sys.stderr,
+            )
+            return 2
+        if not restrict_to:
+            print("clean: no changed python files")
+            return 0
+
+    def analyze():
+        return run_analysis(
+            paths,
+            config,
+            workers=args.workers,
+            whole_program=not args.no_whole_program,
+            restrict_to=restrict_to,
+        )
+
+    result = analyze()
+
+    if args.fix:
+        outcome = apply_fixes(result.violations)
+        if outcome.files:
+            for path in outcome.files:
+                print(f"fixed: {path}", file=sys.stderr)
+            result = analyze()
+        if outcome.skipped:
+            print(
+                f"{len(outcome.skipped)} fixable-family finding(s) could "
+                "not be rewritten automatically",
+                file=sys.stderr,
+            )
+
+    try:
+        baseline, baseline_path = _resolve_baseline(args, paths)
+    except (OSError, ValueError) as exc:
+        print(f"error: could not load baseline: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        target = baseline_path or (
+            Path(args.baseline)
+            if args.baseline is not None
+            else Path(BASELINE_FILENAME)
+        )
+        Baseline.from_violations(result.violations).write(target)
+        print(
+            f"baseline updated: {len(result.violations)} entr"
+            f"{'y' if len(result.violations) == 1 else 'ies'} -> {target}"
+        )
+        if args.stats:
+            print(result.stats.render(), file=sys.stderr)
+            _record_stats(args, result.stats)
+        return 0
+
+    if baseline is not None:
+        matched: BaselineResult = baseline.apply(result.violations)
+        reported = matched.new
+        suppressed = len(matched.suppressed)
+        stale = matched.stale
+    else:
+        reported = result.violations
+        suppressed = 0
+        stale = {}
+
+    print(
+        format_report(
+            reported,
+            result.stats.files_checked,
+            args.format,
+            rules=RULES,
+        )
+    )
+    if suppressed:
+        print(
+            f"{suppressed} finding(s) suppressed by baseline "
+            f"({baseline_path})",
+            file=sys.stderr,
+        )
+    exit_code = 1 if reported else 0
+    if stale:
+        total = sum(stale.values())
+        print(
+            f"warning: {total} stale baseline entr"
+            f"{'y' if total == 1 else 'ies'} no longer match any finding "
+            f"(regenerate with --update-baseline)",
+            file=sys.stderr,
+        )
+        if args.strict_baseline:
+            exit_code = max(exit_code, 1)
+
+    if args.stats:
+        print(result.stats.render(), file=sys.stderr)
+        _record_stats(args, result.stats)
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -86,6 +86,71 @@ class Config:
     #: Module prefixes whose ``faults.arm`` points must be registered
     #: constants (NEON403/NEON404).
     fault_arm_modules: tuple[str, ...] = ("repro",)
+    #: Module prefixes NEON501 paths may legitimately pass through: the
+    #: sanctioned observation/substrate layers.  A call chain from a
+    #: boundary module is *not* followed into these — the interception
+    #: layer touches device internals by design, on the scheduler's
+    #: behalf, charging the paper's costs.
+    sanctioned_modules: tuple[str, ...] = (
+        "repro.neon",
+        "repro.obs",
+        "repro.sim",
+    )
+    #: Module prefixes whose RNG use is policed by NEON502: these may
+    #: only *receive* streams (constructor/function parameters fed from
+    #: the seeded registries), never construct generators themselves.
+    rng_client_modules: tuple[str, ...] = ("repro.core", "repro.workloads")
+    #: Fully qualified constructors that create a raw RNG stream.
+    rng_constructors: tuple[str, ...] = (
+        "random.Random",
+        "random.SystemRandom",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+    )
+    #: Module prefixes NEON503 applies to (the policy/scheduler layer).
+    observation_client_modules: tuple[str, ...] = ("repro.core",)
+    #: The declarative interception-observable surface: the only
+    #: attributes observation clients may touch on the interception
+    #: manager (receivers named ``neon``).  This is the enforcement hook
+    #: the ROADMAP's pluggable policy layer builds on: a policy is safe
+    #: exactly when every ``neon.*`` access resolves into this list.
+    #: tests/staticcheck/test_wholeprogram_rules.py pins it to the
+    #: public API of repro.neon.interception.InterceptionManager.
+    observation_api: frozenset[str] = frozenset(
+        {
+            "track",
+            "untrack",
+            "release_task",
+            "live_channels",
+            "channels_of",
+            "observation",
+            "engage_channel",
+            "disengage_channel",
+            "engage_task",
+            "disengage_task",
+            "engage_all",
+            "flip_cost",
+            "mask_channel",
+            "unmask_channel",
+            "scan_channel",
+            "drain",
+            "preemption_available",
+            "preempt_task",
+            "mask_task",
+            "unmask_task",
+            "identify_running_task",
+            "mark_engagement",
+            "task_quiet",
+            "record_sampled_service",
+            "estimated_request_size",
+        }
+    )
+    #: Registry modules for NEON504 dead-entry detection.  The rule only
+    #: runs when the registry module itself is part of the analyzed
+    #: project, so partial scans never produce false "dead" findings.
+    event_registry_module: str = "repro.obs.events"
+    fault_registry_module: str = "repro.faults.registry"
     #: File allowlist entries: ``path-suffix:line:RULE`` (line may be ``*``).
     allow: tuple[str, ...] = ()
 
@@ -106,6 +171,15 @@ class Config:
 
     def is_fault_arm_module(self, module: str) -> bool:
         return _has_prefix(module, self.fault_arm_modules)
+
+    def is_sanctioned_module(self, module: str) -> bool:
+        return _has_prefix(module, self.sanctioned_modules)
+
+    def is_rng_client_module(self, module: str) -> bool:
+        return _has_prefix(module, self.rng_client_modules)
+
+    def is_observation_client_module(self, module: str) -> bool:
+        return _has_prefix(module, self.observation_client_modules)
 
     def allowlisted(self, path: Path, line: int, rule_id: str) -> bool:
         """True when a config-file allow entry covers this violation."""
@@ -139,6 +213,10 @@ _TUPLE_FIELDS = (
     "flip_methods",
     "trace_emit_modules",
     "fault_arm_modules",
+    "sanctioned_modules",
+    "rng_client_modules",
+    "rng_constructors",
+    "observation_client_modules",
     "allow",
 )
 
@@ -148,10 +226,12 @@ def _config_from_table(table: dict) -> Config:
     for field in _TUPLE_FIELDS:
         if field in table:
             kwargs[field] = tuple(str(item) for item in table[field])
-    if "ground_truth_attributes" in table:
-        kwargs["ground_truth_attributes"] = frozenset(
-            str(item) for item in table["ground_truth_attributes"]
-        )
+    for field in ("ground_truth_attributes", "observation_api"):
+        if field in table:
+            kwargs[field] = frozenset(str(item) for item in table[field])
+    for field in ("event_registry_module", "fault_registry_module"):
+        if field in table:
+            kwargs[field] = str(table[field])
     return Config(**kwargs)
 
 

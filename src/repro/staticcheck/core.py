@@ -27,19 +27,33 @@ PARSE_ERROR_RULE = "NEON000"
 
 @dataclasses.dataclass(frozen=True, order=True)
 class Violation:
-    """One rule violation, anchored to a source location."""
+    """One rule violation, anchored to a source location.
+
+    Whole-program rules (NEON5xx) may attach a ``chain`` — the resolved
+    call path that proves the finding — rendered as indented follow-up
+    lines in text output and as related locations in SARIF.  Each hop is
+    ``(qualified_name, path, line)``.
+    """
 
     path: str
     line: int
     col: int
     rule_id: str
     message: str
+    chain: tuple[tuple[str, str, int], ...] = ()
 
     def as_dict(self) -> dict:
         return dataclasses.asdict(self)
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        head = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        if not self.chain:
+            return head
+        hops = [
+            f"    {index}. {qual}  ({path}:{line})"
+            for index, (qual, path, line) in enumerate(self.chain, start=1)
+        ]
+        return "\n".join([head, "    call chain:"] + hops)
 
 
 class ModuleContext:

@@ -1,0 +1,257 @@
+"""Autofix (``--fix``) for the mechanical rule subset.
+
+Only rules whose fix is a pure rewrite with one obviously-correct answer
+are fixable; judgment calls (boundary taint, RNG flow, API isolation)
+stay human-only.
+
+* **NEON401** — a string-literal event kind whose value matches a
+  registered constant in :mod:`repro.obs.events` is rewritten to
+  ``events.<CONST>``, and ``from repro.obs import events`` is added if
+  the module does not already bind ``events``.
+* **NEON403** — same for injection points: the literal becomes
+  ``fault_points.<CONST>`` with ``from repro.faults import registry as
+  fault_points``.
+* **NEON505** — the unused alias is removed from its import statement;
+  the whole statement goes when it was the only alias.
+
+Fixes are applied bottom-up within each file so earlier edits never
+shift later anchors, and the pass is idempotent: a second ``--fix`` run
+finds nothing left to rewrite (pinned by tests/staticcheck/test_fix.py).
+Literals with no registered counterpart, multi-line import statements,
+and anything else ambiguous are left for the human and reported as
+skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.staticcheck.core import Violation
+
+#: Rules this module knows how to rewrite.
+FIXABLE_RULES = frozenset({"NEON401", "NEON403", "NEON505"})
+
+
+def _constant_by_value(module_name: str) -> dict[str, str]:
+    """value -> CONSTANT name for a registry module (events / faults)."""
+    import importlib
+
+    module = importlib.import_module(module_name)
+    registered = module.constant_names()
+    return {
+        value: name
+        for name, value in vars(module).items()
+        if name in registered and isinstance(value, str)
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class FixOutcome:
+    """What one ``--fix`` pass did."""
+
+    fixed: list[Violation]
+    skipped: list[Violation]
+    files: list[str]
+
+
+class _FileFixer:
+    """Accumulates edits for one file; applies them bottom-up."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.source = path.read_text(encoding="utf-8")
+        self.lines = self.source.splitlines(keepends=True)
+        self.tree = ast.parse(self.source, filename=str(path))
+        #: (lineno, col_start, col_end, replacement) single-line rewrites
+        self.replacements: list[tuple[int, int, int, str]] = []
+        #: statement line ranges to drop entirely (1-based, inclusive)
+        self.deletions: list[tuple[int, int]] = []
+        #: import lines to append after the last top-level import
+        self.new_imports: list[str] = []
+
+    # -- gathering ------------------------------------------------------
+    def literal_at(self, line: int, col: int) -> Optional[ast.Constant]:
+        for node in ast.walk(self.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.lineno == line
+                and node.col_offset == col
+                and node.end_lineno == line
+            ):
+                return node
+        return None
+
+    def rewrite_literal(self, node: ast.Constant, replacement: str) -> None:
+        self.replacements.append(
+            (node.lineno, node.col_offset, node.end_col_offset, replacement)
+        )
+
+    def has_binding(self, local: str) -> bool:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".", 1)[0]
+                    if bound == local:
+                        return True
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if (alias.asname or alias.name) == local:
+                        return True
+        return False
+
+    def ensure_import(self, local: str, statement: str) -> None:
+        if self.has_binding(local):
+            return
+        if statement not in self.new_imports:
+            self.new_imports.append(statement)
+
+    def import_statement_at(self, line: int) -> Optional[ast.stmt]:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            if node.lineno <= line <= (node.end_lineno or node.lineno):
+                return node
+        return None
+
+    def remove_alias(self, stmt: ast.stmt, local: str) -> bool:
+        """Drop one alias from an import statement; False when ambiguous."""
+        if stmt.lineno != (stmt.end_lineno or stmt.lineno):
+            return False  # multi-line import: leave it for the human
+        keep = []
+        for alias in stmt.names:
+            bound = alias.asname or alias.name.split(".", 1)[0]
+            if isinstance(stmt, ast.ImportFrom):
+                bound = alias.asname or alias.name
+            if bound != local:
+                keep.append(alias)
+        if len(keep) == len(stmt.names):
+            return False  # alias not found — stale finding
+        if not keep:
+            self.deletions.append((stmt.lineno, stmt.end_lineno or stmt.lineno))
+            return True
+        rendered = ", ".join(
+            alias.name + (f" as {alias.asname}" if alias.asname else "")
+            for alias in keep
+        )
+        indent = self.lines[stmt.lineno - 1][: stmt.col_offset]
+        if isinstance(stmt, ast.ImportFrom):
+            dots = "." * stmt.level
+            text = f"{indent}from {dots}{stmt.module or ''} import {rendered}"
+        else:
+            text = f"{indent}import {rendered}"
+        self.replacements.append(
+            (stmt.lineno, 0, len(self.lines[stmt.lineno - 1].rstrip("\r\n")), text)
+        )
+        return True
+
+    # -- applying -------------------------------------------------------
+    def apply(self) -> bool:
+        if not (self.replacements or self.deletions or self.new_imports):
+            return False
+        lines = list(self.lines)
+        edits: list[tuple[int, str, tuple]] = []
+        for lineno, start, end, text in self.replacements:
+            edits.append((lineno, "replace", (start, end, text)))
+        for first, last in self.deletions:
+            edits.append((first, "delete", (first, last)))
+        for lineno, op, payload in sorted(edits, key=lambda e: -e[0]):
+            if op == "replace":
+                start, end, text = payload
+                original = lines[lineno - 1]
+                ending = original[len(original.rstrip("\r\n")):]
+                body = original.rstrip("\r\n")
+                lines[lineno - 1] = body[:start] + text + body[end:] + ending
+            else:
+                first, last = payload
+                del lines[first - 1 : last]
+        if self.new_imports:
+            anchor = 0
+            for node in self.tree.body:
+                if isinstance(node, (ast.Import, ast.ImportFrom)):
+                    anchor = max(anchor, node.end_lineno or node.lineno)
+            # Account for deletions above the anchor.
+            shift = sum(
+                last - first + 1
+                for first, last in self.deletions
+                if last <= anchor
+            )
+            insert_at = max(0, anchor - shift)
+            for statement in reversed(self.new_imports):
+                lines.insert(insert_at, statement + "\n")
+        self.path.write_text("".join(lines), encoding="utf-8")
+        return True
+
+
+def _fix_literal(
+    fixer: _FileFixer,
+    violation: Violation,
+    by_value: dict[str, str],
+    prefix: str,
+    local: str,
+    import_statement: str,
+) -> bool:
+    node = fixer.literal_at(violation.line, violation.col)
+    if node is None:
+        return False
+    constant = by_value.get(node.value)
+    if constant is None:
+        return False  # no registered constant carries this value
+    fixer.rewrite_literal(node, f"{prefix}.{constant}")
+    fixer.ensure_import(local, import_statement)
+    return True
+
+
+def _fix_unused_import(fixer: _FileFixer, violation: Violation) -> bool:
+    match = re.match(r"'([^']+)'", violation.message)
+    if match is None:
+        return False
+    stmt = fixer.import_statement_at(violation.line)
+    if stmt is None:
+        return False
+    return fixer.remove_alias(stmt, match.group(1))
+
+
+def apply_fixes(violations: Sequence[Violation]) -> FixOutcome:
+    """Rewrite every fixable finding in place; see the module docstring."""
+    fixed: list[Violation] = []
+    skipped: list[Violation] = []
+    fixers: dict[str, _FileFixer] = {}
+    event_constants = _constant_by_value("repro.obs.events")
+    fault_constants = _constant_by_value("repro.faults.registry")
+
+    for violation in sorted(violations):
+        if violation.rule_id not in FIXABLE_RULES:
+            continue
+        fixer = fixers.get(violation.path)
+        if fixer is None:
+            try:
+                fixer = _FileFixer(Path(violation.path))
+            except (OSError, SyntaxError, ValueError):
+                skipped.append(violation)
+                continue
+            fixers[violation.path] = fixer
+        if violation.rule_id == "NEON401":
+            done = _fix_literal(
+                fixer, violation, event_constants, "events", "events",
+                "from repro.obs import events",
+            )
+        elif violation.rule_id == "NEON403":
+            done = _fix_literal(
+                fixer, violation, fault_constants, "fault_points",
+                "fault_points",
+                "from repro.faults import registry as fault_points",
+            )
+        else:
+            done = _fix_unused_import(fixer, violation)
+        (fixed if done else skipped).append(violation)
+
+    changed = [path for path, fixer in sorted(fixers.items()) if fixer.apply()]
+    return FixOutcome(fixed=fixed, skipped=skipped, files=changed)
+
+
+__all__ = ["FIXABLE_RULES", "FixOutcome", "apply_fixes"]

@@ -1,14 +1,17 @@
-"""Violation reporters — human text and machine JSON.
+"""Violation reporters — human text, machine JSON, and SARIF.
 
 Text lines are ``path:line:col: RULE message`` (the classic compiler
 shape, so editors and CI annotations parse them for free).  JSON output
 is a single object with the violation list and counters, for tooling.
+SARIF (``--format sarif``) feeds GitHub code scanning; see
+:mod:`repro.staticcheck.sarif`.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Sequence
+from pathlib import Path
+from typing import Optional, Sequence
 
 from repro.staticcheck.core import Violation
 
@@ -43,12 +46,20 @@ def format_json(violations: Sequence[Violation], files_checked: int) -> str:
 
 
 def format_report(
-    violations: Sequence[Violation], files_checked: int, fmt: str
+    violations: Sequence[Violation],
+    files_checked: int,
+    fmt: str,
+    rules: Optional[dict[str, str]] = None,
+    root: Optional[Path] = None,
 ) -> str:
     if fmt == "json":
         return format_json(violations, files_checked)
     if fmt == "text":
         return format_text(violations, files_checked)
+    if fmt == "sarif":
+        from repro.staticcheck.sarif import format_sarif
+
+        return format_sarif(violations, rules or {}, root)
     raise ValueError(f"unknown report format: {fmt!r}")
 
 

@@ -33,6 +33,11 @@ RULES: dict[str, str] = {
     "NEON402": "trace.emit kind constant not registered in repro.obs.events",
     "NEON403": "faults.arm called with a string-literal injection point",
     "NEON404": "faults.arm point constant not registered in repro.faults.registry",
+    "NEON501": "call chain from a boundary module reaches device-internal state",
+    "NEON502": "RNG stream escapes to module scope or flows into scheduler/workload code",
+    "NEON503": "observation client touches an attribute outside the declared observation API",
+    "NEON504": "registry entry (event kind / fault point) never emitted/armed in the program",
+    "NEON505": "import is never used (whole-program re-export aware for __init__)",
 }
 
 _CHECKERS = (

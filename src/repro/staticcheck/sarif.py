@@ -1,0 +1,150 @@
+"""SARIF 2.1.0 export — CI code-scanning annotations for neonlint.
+
+Emits one run with the full rule catalog in ``tool.driver.rules`` and one
+``result`` per violation.  NEON501 call chains become both a
+``codeFlows`` thread (the full path, hop by hop) and ``relatedLocations``
+so GitHub's annotation UI can render the laundering route inline.
+
+The output targets the OASIS SARIF 2.1.0 schema
+(https://json.schemastore.org/sarif-2.1.0.json); structural conformance
+is pinned by tests/staticcheck/test_sarif.py.  URIs are emitted
+repo-relative (POSIX separators) when a ``root`` is given so the GitHub
+upload step can match them against the checkout.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.staticcheck.baseline import fingerprint
+from repro.staticcheck.core import Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Informational URI advertised for every rule.
+_HELP_URI = "https://github.com/repro/repro/blob/main/docs/STATIC_ANALYSIS.md"
+
+
+def _relative_uri(path: str, root: Optional[Path]) -> str:
+    candidate = Path(path)
+    if root is not None:
+        try:
+            candidate = candidate.resolve().relative_to(Path(root).resolve())
+        except ValueError:
+            pass
+    return candidate.as_posix()
+
+
+def _location(path: str, line: int, col: int, root: Optional[Path]) -> dict:
+    region: dict = {"startLine": max(1, line)}
+    if col:
+        region["startColumn"] = col + 1  # SARIF columns are 1-based
+    return {
+        "physicalLocation": {
+            "artifactLocation": {
+                "uri": _relative_uri(path, root),
+                "uriBaseId": "SRCROOT",
+            },
+            "region": region,
+        }
+    }
+
+
+def _result(violation: Violation, root: Optional[Path], source_cache: dict) -> dict:
+    result = {
+        "ruleId": violation.rule_id,
+        "level": "error",
+        "message": {"text": violation.message},
+        "locations": [
+            _location(violation.path, violation.line, violation.col, root)
+        ],
+        "partialFingerprints": {
+            "neonlintFingerprint/v1": fingerprint(violation, source_cache)
+        },
+    }
+    if violation.chain:
+        result["relatedLocations"] = [
+            {
+                **_location(hop_path, hop_line, 0, root),
+                "message": {"text": qual},
+            }
+            for qual, hop_path, hop_line in violation.chain
+        ]
+        result["codeFlows"] = [
+            {
+                "threadFlows": [
+                    {
+                        "locations": [
+                            {
+                                "location": {
+                                    **_location(hop_path, hop_line, 0, root),
+                                    "message": {"text": qual},
+                                }
+                            }
+                            for qual, hop_path, hop_line in violation.chain
+                        ]
+                    }
+                ]
+            }
+        ]
+    return result
+
+
+def to_sarif(
+    violations: Sequence[Violation],
+    rules: dict[str, str],
+    root: Optional[Path] = None,
+) -> dict:
+    """Build the SARIF log object (JSON-able dict)."""
+    source_cache: dict[str, list[str]] = {}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "neonlint",
+                        "informationUri": _HELP_URI,
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "name": rule_id,
+                                "shortDescription": {"text": description},
+                                "helpUri": _HELP_URI,
+                                "defaultConfiguration": {"level": "error"},
+                            }
+                            for rule_id, description in sorted(rules.items())
+                        ],
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {
+                        "uri": (
+                            Path(root).resolve().as_uri() + "/"
+                            if root is not None
+                            else "file:///"
+                        )
+                    }
+                },
+                "results": [
+                    _result(violation, root, source_cache)
+                    for violation in violations
+                ],
+            }
+        ],
+    }
+
+
+def format_sarif(
+    violations: Sequence[Violation],
+    rules: dict[str, str],
+    root: Optional[Path] = None,
+) -> str:
+    return json.dumps(to_sarif(violations, rules, root), indent=2)
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "format_sarif", "to_sarif"]

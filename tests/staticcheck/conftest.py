@@ -8,6 +8,10 @@ FIXTURES = Path(__file__).parent / "fixtures"
 #: The boundary fixtures mimic the real package layout so the default
 #: config's module scoping applies unchanged.
 BOUNDARY_PKG = FIXTURES / "boundary_pkg" / "repro" / "core"
+#: The whole-program fixture project: a mini repro-shaped package with a
+#: laundered boundary violation, RNG escapes, an off-API observation
+#: client, dead registry entries, and unused imports — one per NEON5xx.
+WHOLEPROG_PKG = FIXTURES / "wholeprog_pkg"
 
 
 @pytest.fixture

@@ -1,0 +1,9 @@
+"""Fixture: imports through the re-export package, plus one dead import."""
+
+import json
+
+from repro.util import probe
+
+
+def poke():
+    return probe()

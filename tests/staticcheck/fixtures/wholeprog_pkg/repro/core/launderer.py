@@ -1,0 +1,15 @@
+"""Fixture: a boundary module that launders ground truth through a helper.
+
+No ``repro.gpu`` import appears here, so NEON101/102 pass; only the
+whole-program call graph (NEON501) sees ``decide -> probe -> read_queue``.
+"""
+
+from repro.helpers import relay
+
+
+def decide():
+    return relay.probe()
+
+
+def innocent():
+    return relay.harmless()

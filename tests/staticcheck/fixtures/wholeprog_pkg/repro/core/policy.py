@@ -1,0 +1,11 @@
+"""Fixture: an observation client straying off the declared API (NEON503)."""
+
+
+class Policy:
+    def __init__(self, neon):
+        self.neon = neon
+
+    def tick(self):
+        for channel in self.neon.live_channels():
+            self.neon.scan_channel(channel)
+        return self.neon.device_secrets

@@ -1,0 +1,7 @@
+"""Fixture: scheduler code importing an escaped global RNG (NEON502 flow)."""
+
+from repro.helpers.shared_rng import STREAM
+
+
+def jitter():
+    return STREAM.random()

@@ -1,0 +1,12 @@
+"""Fixture: a miniature injection-point registry (NEON504)."""
+
+_POINTS = []
+
+
+def register_injection_point(name):
+    _POINTS.append(name)
+    return name
+
+
+RELAY_STALL = register_injection_point("relay.stall")
+NEVER_ARMED = register_injection_point("never.armed")

@@ -1,0 +1,9 @@
+"""Fixture: device-internal state no scheduler may reach."""
+
+
+def read_queue():
+    return ["ground", "truth"]
+
+
+def engine_load():
+    return 0.75

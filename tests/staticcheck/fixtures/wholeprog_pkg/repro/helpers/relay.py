@@ -1,0 +1,16 @@
+"""Fixture: the laundering hop — a helper that touches device internals.
+
+Imports ``repro.gpu`` legally (this is not a boundary module), which is
+exactly what makes the per-file NEON1xx rules blind to the scheduler
+that calls through it.
+"""
+
+from repro.gpu import device as gpu_device
+
+
+def probe():
+    return gpu_device.read_queue()
+
+
+def harmless():
+    return 42

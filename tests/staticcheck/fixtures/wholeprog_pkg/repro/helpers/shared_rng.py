@@ -1,0 +1,11 @@
+"""Fixture: a module-scope RNG stream (NEON502 escape)."""
+
+import random
+
+STREAM = random.Random(1)
+
+
+def local_ok():
+    # A generator that never leaves the function is not an escape.
+    scratch = random.Random(2)
+    return scratch.random()

@@ -1,0 +1,12 @@
+"""Fixture: a miniature trace-event registry (NEON504)."""
+
+_KINDS = []
+
+
+def register_event_kind(name):
+    _KINDS.append(name)
+    return name
+
+
+ROUND_DONE = register_event_kind("round.done")
+NEVER_EMITTED = register_event_kind("never.emitted")

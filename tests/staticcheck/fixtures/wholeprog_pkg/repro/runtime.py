@@ -1,0 +1,26 @@
+"""Fixture: emit/arm sites that keep registry entries alive (NEON504)."""
+
+from repro.faults import registry as fault_points
+from repro.obs import events
+
+
+class _Recorder:
+    def emit(self, now, source, kind, **payload):
+        return (now, source, kind, payload)
+
+
+class _Injector:
+    def arm(self, point, task=None):
+        return (point, task)
+
+
+trace = _Recorder()
+faults = _Injector()
+
+
+def run(now):
+    trace.emit(
+        now, "runtime", events.ROUND_DONE,
+        task="t0",
+    )
+    faults.arm(fault_points.RELAY_STALL)

@@ -1,0 +1,11 @@
+"""Fixture: a re-export package (NEON505 whole-program awareness).
+
+``probe`` is re-exported and imported through this package by
+``repro.consumer`` — live.  ``harmless`` is listed in ``__all__`` —
+live.  ``local_ok`` is neither — the one NEON505 finding here.
+"""
+
+from repro.helpers.relay import harmless, probe
+from repro.helpers.shared_rng import local_ok
+
+__all__ = ["harmless"]

@@ -1,0 +1,8 @@
+"""Fixture: workload code constructing its own RNG (NEON502 construction)."""
+
+import random
+
+
+def burst_sizes(count):
+    stream = random.Random(99)
+    return [stream.randrange(8) for _ in range(count)]

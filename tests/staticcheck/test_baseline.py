@@ -1,0 +1,86 @@
+"""Baseline fingerprinting, multiset matching, and the stale ratchet."""
+
+from repro.staticcheck.baseline import (
+    Baseline,
+    discover_baseline,
+    fingerprint,
+)
+from repro.staticcheck.core import Violation
+
+
+def _violation(path, line, rule="NEON505", message="'json' is unused"):
+    return Violation(path=str(path), line=line, col=0, rule_id=rule, message=message)
+
+
+def test_fingerprint_survives_line_drift(tmp_path):
+    before = tmp_path / "before.py"
+    before.write_text("import json\n")
+    drifted = tmp_path / "before.py"  # same file, edited above the finding
+    old = fingerprint(_violation(before, 1))
+    before.write_text("# a new comment pushed everything down\n\nimport json\n")
+    new = fingerprint(_violation(drifted, 3))
+    assert old == new
+
+
+def test_fingerprint_distinguishes_rule_and_source(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text("import json\nimport sys\n")
+    assert fingerprint(_violation(path, 1)) != fingerprint(_violation(path, 2))
+    assert fingerprint(_violation(path, 1)) != fingerprint(
+        _violation(path, 1, rule="NEON202")
+    )
+
+
+def test_fingerprint_normalizes_embedded_line_numbers(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text("import json\n")
+    left = _violation(path, 1, message="created at rng.py:17 flows in")
+    right = _violation(path, 1, message="created at rng.py:99 flows in")
+    assert fingerprint(left) == fingerprint(right)
+
+
+def test_apply_splits_new_suppressed_and_stale(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text("import json\nimport sys\n")
+    known = _violation(path, 1)
+    gone = _violation(path, 2, message="'sys' is unused")
+    baseline = Baseline.from_violations([known, gone])
+
+    fresh = _violation(path, 2, rule="NEON202", message="brand new")
+    result = baseline.apply([known, fresh])
+    assert result.suppressed == [known]
+    assert result.new == [fresh]
+    assert list(result.stale.values()) == [1]  # the 'sys' entry no longer matches
+
+
+def test_apply_consumes_entries_multiset_style(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text("import json\n")
+    violation = _violation(path, 1)
+    one_entry = Baseline.from_violations([violation])
+    result = one_entry.apply([violation, violation])
+    # Two identical findings, one baseline entry: only one is grandfathered.
+    assert len(result.suppressed) == 1
+    assert len(result.new) == 1
+
+
+def test_write_load_round_trip_and_discovery(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text("import json\n")
+    baseline = Baseline.from_violations([_violation(path, 1)])
+    target = tmp_path / "neonlint-baseline.json"
+    baseline.write(target)
+    loaded = Baseline.load(target)
+    assert loaded.entries == baseline.entries
+    nested = tmp_path / "deep" / "deeper"
+    nested.mkdir(parents=True)
+    assert discover_baseline([nested]) == target
+
+
+def test_discovery_stops_at_project_root(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+    inner = tmp_path / "src"
+    inner.mkdir()
+    # No baseline anywhere under the root: discovery must not wander up
+    # past pyproject.toml into the surrounding filesystem.
+    assert discover_baseline([inner]) is None

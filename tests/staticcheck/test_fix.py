@@ -1,0 +1,105 @@
+"""Autofix: literal->constant rewrites, import pruning, idempotency."""
+
+from textwrap import dedent
+
+from repro.staticcheck import Config
+from repro.staticcheck.engine import run_analysis
+from repro.staticcheck.fix import apply_fixes
+
+
+def _analyze(path):
+    return run_analysis([path], Config(), whole_program=True)
+
+
+def _fix_until_stable(path):
+    result = _analyze(path)
+    outcome = apply_fixes(result.violations)
+    return result, outcome
+
+
+def test_literal_event_kind_is_rewritten(tmp_path):
+    # Module must live under a path that maps into trace_emit_modules
+    # ("repro"): build a mini package named repro.
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    mod = pkg / "emitter.py"
+    mod.write_text(dedent("""\
+        def run(trace, now):
+            trace.emit(now, "emitter", "fault", task="t")
+    """))
+    result, outcome = _fix_until_stable(tmp_path)
+    assert any(v.rule_id == "NEON401" for v in result.violations)
+    assert [v.rule_id for v in outcome.fixed] == ["NEON401"]
+    text = mod.read_text()
+    assert 'events.FAULT' in text
+    assert "from repro.obs import events" in text
+    assert '"fault"' not in text
+    # The rewritten file is NEON401-clean.
+    after = _analyze(tmp_path)
+    assert not any(v.rule_id == "NEON401" for v in after.violations)
+
+
+def test_literal_fault_point_is_rewritten(tmp_path):
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    mod = pkg / "armer.py"
+    mod.write_text(dedent("""\
+        def plan(faults):
+            faults.arm("gpu.request_hang", task="t")
+    """))
+    _, outcome = _fix_until_stable(tmp_path)
+    assert [v.rule_id for v in outcome.fixed] == ["NEON403"]
+    text = mod.read_text()
+    assert "fault_points.GPU_REQUEST_HANG" in text
+    assert "from repro.faults import registry as fault_points" in text
+
+
+def test_unknown_literal_is_skipped_not_mangled(tmp_path):
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    mod = pkg / "emitter.py"
+    source = dedent("""\
+        def run(trace, now):
+            trace.emit(now, "emitter", "no.such.kind", task="t")
+    """)
+    mod.write_text(source)
+    _, outcome = _fix_until_stable(tmp_path)
+    assert outcome.fixed == []
+    assert len(outcome.skipped) == 1
+    assert mod.read_text() == source  # untouched
+
+
+def test_unused_import_is_removed(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("import json\nimport sys\n\nprint(sys.path)\n")
+    _, outcome = _fix_until_stable(tmp_path)
+    assert [v.rule_id for v in outcome.fixed] == ["NEON505"]
+    assert mod.read_text() == "import sys\n\nprint(sys.path)\n"
+
+
+def test_unused_alias_is_pruned_from_multi_alias_import(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text("from os.path import join, split\n\nprint(join('a'))\n")
+    _fix_until_stable(tmp_path)
+    assert mod.read_text() == "from os.path import join\n\nprint(join('a'))\n"
+
+
+def test_fix_is_idempotent(tmp_path):
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    mod = pkg / "emitter.py"
+    mod.write_text(dedent("""\
+        import json
+
+        def run(trace, now):
+            trace.emit(now, "emitter", "fault", task="t")
+    """))
+    _fix_until_stable(tmp_path)
+    first_pass = mod.read_text()
+    _, second = _fix_until_stable(tmp_path)
+    assert second.files == []  # nothing left to rewrite
+    assert mod.read_text() == first_pass

@@ -1,0 +1,189 @@
+"""Project-model tests: parsing, linking, and name resolution."""
+
+from textwrap import dedent
+
+from repro.staticcheck.graph import MODULE_NODE, ProjectModel
+
+
+def _write_pkg(root, files):
+    """Materialize ``{relative_path: source}`` as a package tree."""
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(dedent(source))
+        parent = path.parent
+        while parent != root:  # packages need __init__.py; the root is not one
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+            parent = parent.parent
+    return root
+
+
+def _callees(model, qualname):
+    return {site.callee for site in model.functions[qualname].calls if site.callee}
+
+
+def test_from_import_call_resolves(tmp_path):
+    _write_pkg(tmp_path, {
+        "pkg/a.py": """
+            from pkg.b import helper
+
+            def caller():
+                return helper()
+        """,
+        "pkg/b.py": """
+            def helper():
+                return 1
+        """,
+    })
+    model = ProjectModel.build(paths=[tmp_path])
+    assert "pkg.b.helper" in _callees(model, "pkg.a.caller")
+
+
+def test_aliased_module_import_resolves(tmp_path):
+    _write_pkg(tmp_path, {
+        "pkg/a.py": """
+            import pkg.b as bee
+
+            def caller():
+                return bee.helper()
+        """,
+        "pkg/b.py": """
+            def helper():
+                return 1
+        """,
+    })
+    model = ProjectModel.build(paths=[tmp_path])
+    assert "pkg.b.helper" in _callees(model, "pkg.a.caller")
+
+
+def test_reexport_chain_resolves_through_package_init(tmp_path):
+    _write_pkg(tmp_path, {
+        "pkg/__init__.py": """
+            from pkg.impl import worker
+        """,
+        "pkg/impl.py": """
+            def worker():
+                return 1
+        """,
+        "client.py": """
+            from pkg import worker
+
+            def use():
+                return worker()
+        """,
+    })
+    model = ProjectModel.build(paths=[tmp_path])
+    assert "pkg.impl.worker" in _callees(model, "client.use")
+
+
+def test_self_method_resolves_through_inheritance(tmp_path):
+    _write_pkg(tmp_path, {
+        "pkg/base.py": """
+            class Base:
+                def hook(self):
+                    return 0
+        """,
+        "pkg/child.py": """
+            from pkg.base import Base
+
+            class Child(Base):
+                def run(self):
+                    return self.hook()
+        """,
+    })
+    model = ProjectModel.build(paths=[tmp_path])
+    assert "pkg.base.Base.hook" in _callees(model, "pkg.child.Child.run")
+
+
+def test_instantiation_charges_the_constructor(tmp_path):
+    _write_pkg(tmp_path, {
+        "pkg/widget.py": """
+            class Widget:
+                def __init__(self):
+                    self.size = 1
+        """,
+        "pkg/factory.py": """
+            from pkg.widget import Widget
+
+            def make():
+                return Widget()
+        """,
+    })
+    model = ProjectModel.build(paths=[tmp_path])
+    assert "pkg.widget.Widget.__init__" in _callees(model, "pkg.factory.make")
+
+
+def test_import_cycle_terminates_and_links_both_sides(tmp_path):
+    _write_pkg(tmp_path, {
+        "pkg/a.py": """
+            import pkg.b
+
+            def fa():
+                return pkg.b.fb()
+        """,
+        "pkg/b.py": """
+            import pkg.a
+
+            def fb():
+                return 2
+        """,
+    })
+    model = ProjectModel.build(paths=[tmp_path])
+    graph = model.import_graph()
+    assert "pkg.b" in graph["pkg.a"]
+    assert "pkg.a" in graph["pkg.b"]
+    # Module nodes carry the import edges so taint can flow through them.
+    assert f"pkg.b.{MODULE_NODE}" in _callees(model, f"pkg.a.{MODULE_NODE}")
+    assert f"pkg.a.{MODULE_NODE}" in _callees(model, f"pkg.b.{MODULE_NODE}")
+
+
+def test_reexport_cycle_in_resolution_returns_none(tmp_path):
+    _write_pkg(tmp_path, {
+        "pkg/a.py": """
+            from pkg.b import ghost
+        """,
+        "pkg/b.py": """
+            from pkg.a import ghost
+        """,
+    })
+    model = ProjectModel.build(paths=[tmp_path])
+    assert model.resolve_symbol("pkg.a.ghost") is None
+
+
+def test_type_checking_imports_are_not_runtime(tmp_path):
+    _write_pkg(tmp_path, {
+        "pkg/a.py": """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from pkg.b import Heavy
+
+            def annotate(x: "Heavy"):
+                return x
+        """,
+        "pkg/b.py": """
+            class Heavy:
+                pass
+        """,
+    })
+    model = ProjectModel.build(paths=[tmp_path])
+    info = model.modules["pkg.a"]
+    assert "pkg.b" not in info.runtime_imports
+    assert not info.bindings["Heavy"].runtime
+    # ...but the quoted annotation still counts as a use (NEON505).
+    assert "Heavy" in info.used_names
+
+
+def test_unparsed_files_are_recorded_not_fatal(tmp_path):
+    _write_pkg(tmp_path, {
+        "pkg/good.py": """
+            def ok():
+                return 1
+        """,
+    })
+    (tmp_path / "pkg" / "broken.py").write_text("def broken(:\n")
+    model = ProjectModel.build(paths=[tmp_path])
+    assert "pkg.good.ok" in model.functions
+    assert any(p.name == "broken.py" for p in model.unparsed)

@@ -42,6 +42,7 @@ def test_json_report_round_trips():
         "col": 0,
         "rule_id": "NEON202",
         "message": first["message"],
+        "chain": [],
     }
     assert [v["rule_id"] for v in payload["violations"]] == [
         "NEON202", "NEON201", "NEON203", "NEON203", "NEON203", "NEON204",
