@@ -1,16 +1,16 @@
 #!/usr/bin/env python3
-"""Emit a committed performance snapshot (``BENCH_PR5.json``) at repo root.
+"""Emit a committed performance snapshot (``BENCH_PR<n>.json``) at repo root.
 
 The snapshot is a bundle of ``repro perf`` run records, one per tracked
 experiment, captured with telemetry riding along::
 
     PYTHONPATH=src python scripts/bench_snapshot.py
     PYTHONPATH=src python scripts/bench_snapshot.py --duration-ms 60 \\
-        --repeats 3 -o BENCH_PR5.json
+        --repeats 3 -o BENCH_PR7.json
 
 It exists so the repository carries a perf trajectory: each PR that cares
 commits a fresh ``BENCH_PRn.json``, and CI gates new runs against the
-latest one (``repro perf gate --baseline BENCH_PR5.json ...``).  Wall
+latest one (``repro perf gate --baseline BENCH_PR7.json ...``).  Wall
 times in the snapshot are min-of-N over ``--repeats`` cold runs, the
 standard noise-resistant estimator; the simulation metrics inside are
 deterministic per seed, so they double as a figure-drift fingerprint.
@@ -18,7 +18,7 @@ deterministic per seed, so they double as a figure-drift fingerprint.
 The bundle shape (additive-only, like the record schema itself)::
 
     {
-      "bench": "PR5",
+      "bench": "PR7",
       "schema": 1,
       "env": {...environment fingerprint...},
       "records": {"figure4": {...run record...}, "figure6": {...}}
@@ -67,7 +67,7 @@ def main(argv=None) -> int:
         help="cold runs per experiment; wall_s is the min (default: 2)",
     )
     parser.add_argument(
-        "--bench", default="PR5", help="snapshot tag (default: PR5)",
+        "--bench", default="PR7", help="snapshot tag (default: PR7)",
     )
     parser.add_argument(
         "-o", "--output", type=Path, default=None,

@@ -51,6 +51,10 @@ class Channel:
         #: Runlist masking (requires hardware preemption support): a masked
         #: channel's queued work is invisible to the engine until unmasked.
         self.masked = False
+        #: Polling services with at least one active watch on this channel;
+        #: every refcounter advance notifies them so quiescent channels can
+        #: be skipped by their passes (see repro.osmodel.polling).
+        self._pollers: list = []
 
     @property
     def task(self) -> "Task":
@@ -88,9 +92,13 @@ class Channel:
 
     def complete(self, request: Request) -> None:
         """Hardware completion: bump the reference counter."""
-        if request.ref is None:  # pragma: no cover - defensive
+        ref = request.ref
+        if ref is None:  # pragma: no cover - defensive
             raise RuntimeError("completing a request that was never enqueued")
-        self.refcounter = max(self.refcounter, request.ref)
+        if ref > self.refcounter:
+            self.refcounter = ref
+            for poller in self._pollers:
+                poller.mark_dirty(self)
         self.completed_count += 1
 
     def discard_queued(self) -> list[Request]:
@@ -104,8 +112,21 @@ class Channel:
         self.queue.clear()
         for request in casualties:
             request.aborted = True
-        self.refcounter = self.last_submitted_ref if self.running is None else self.refcounter
+        if self.running is None:
+            self.advance_refcounter(self.last_submitted_ref)
         return casualties
+
+    def advance_refcounter(self, value: int) -> None:
+        """Move the reference counter forward (hardware-side write).
+
+        All counter writes funnel through here (or :meth:`complete`'s
+        inlined equivalent) so watching polling services learn the channel
+        has progressed; the counter never moves backwards.
+        """
+        if value > self.refcounter:
+            self.refcounter = value
+            for poller in self._pollers:
+                poller.mark_dirty(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -123,6 +123,27 @@ class GpuDevice:
         all software-side costs (MMIO write, faults) are charged by the
         kernel model before calling this.
         """
+        self._enqueue_one(channel, request)
+        self._engine_for(channel.kind).notify()
+        return request.completion
+
+    def submit_batch(self, channel: Channel, requests: list[Request]) -> list[Event]:
+        """Enqueue back-to-back requests on one channel, kicking the engine
+        once.
+
+        The batched doorbell path: all requests land on the ring buffer at
+        the current instant and the engine is notified with a *single*
+        wake event, instead of one notify per request.  Returns the
+        completion events in submission order.
+        """
+        for request in requests:
+            self._enqueue_one(channel, request)
+        if requests:
+            self._engine_for(channel.kind).notify()
+        return [request.completion for request in requests]
+
+    def _enqueue_one(self, channel: Channel, request: Request) -> None:
+        """Shared per-request hardware-side submission (no engine kick)."""
         request.completion = self.sim.event()
         if self.faults is not None:
             if self.faults.arm(fault_points.GPU_REQUEST_HANG, channel.task.name):
@@ -136,8 +157,7 @@ class GpuDevice:
             ):
                 # The counter jumps past work still in flight, so scans
                 # and drains observe completions that never happened.
-                channel.refcounter = channel.last_submitted_ref
-        self._engine_for(channel.kind).notify()
+                channel.advance_refcounter(channel.last_submitted_ref)
         self._submits.inc(channel.task.name)
         if self.trace.enabled:
             self.trace.emit(
@@ -150,7 +170,6 @@ class GpuDevice:
                 size_us=request.size_us,
                 request_kind=request.kind.value,
             )
-        return request.completion
 
     def _engine_for(self, kind: RequestKind) -> ExecutionEngine:
         if kind is RequestKind.DMA and self.copy_engine is not None:
@@ -175,7 +194,7 @@ class GpuDevice:
         for channel in context.channels:
             casualties = channel.discard_queued()
             channel.dead = True
-            channel.refcounter = channel.last_submitted_ref
+            channel.advance_refcounter(channel.last_submitted_ref)
             self._engine_for(channel.kind).unregister_channel(channel)
             for request in casualties:
                 if request.completion is not None and not request.completion.triggered:

@@ -32,6 +32,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.params import GpuParams
     from repro.sim.engine import Simulator
 
+#: Outcome tags delivered through the per-request outcome event.  A single
+#: event replaces the earlier finished/abort/preempt trio plus AnyOf: the
+#: first cause to occur triggers it with its tag (and cancels the completion
+#: timer), so one request costs one event and one wakeup.
+FINISHED = "finished"
+ABORTED = "aborted"
+PREEMPTED = "preempted"
+
 
 class ExecutionEngine:
     """One execution engine (main compute/graphics, or the copy engine)."""
@@ -52,10 +60,12 @@ class ExecutionEngine:
         self._channels: list[Channel] = []
         self._cursor = 0
         self._wake: Optional[Event] = None
-        self._abort: Optional[Event] = None
-        self._preempt: Optional[Event] = None
+        self._outcome: Optional[Event] = None
+        self._timer = None
         self._pending_stall = 0.0
         self.preemptions = 0
+        #: Wake events actually fired (coalesced notifies are not counted).
+        self.wakeups = 0
         self.current: Optional[Request] = None
         self.current_channel: Optional[Channel] = None
         self._last_context = None
@@ -87,9 +97,17 @@ class ExecutionEngine:
     # External control
     # ------------------------------------------------------------------
     def notify(self) -> None:
-        """Wake the engine: new work may be available."""
-        if self._wake is not None and not self._wake.triggered:
-            self._wake.trigger()
+        """Wake the engine: new work may be available.
+
+        Idempotent within an instant: the first notify of an idle period
+        triggers the wake event, later ones are free.  Batched submission
+        (``GpuDevice.submit_batch``) relies on this — a burst of enqueues
+        costs one wake; ``wakeups`` counts the wakes that actually fired.
+        """
+        wake = self._wake
+        if wake is not None and not wake.triggered:
+            self.wakeups += 1
+            wake.trigger()
 
     def abort_current(self, context) -> bool:
         """Abort the running request if it belongs to ``context``."""
@@ -97,10 +115,10 @@ class ExecutionEngine:
             self.current is not None
             and self.current_channel is not None
             and self.current_channel.context is context
-            and self._abort is not None
-            and not self._abort.triggered
+            and self._outcome is not None
+            and not self._outcome.triggered
         ):
-            self._abort.trigger()
+            self._settle(ABORTED)
             return True
         return False
 
@@ -118,10 +136,18 @@ class ExecutionEngine:
             return False
         if context is not None and self.current_channel.context is not context:
             return False
-        if self._preempt is None or self._preempt.triggered:
+        if self._outcome is None or self._outcome.triggered:
             return False
-        self._preempt.trigger()
+        self._settle(PREEMPTED)
         return True
+
+    def _settle(self, tag: str) -> None:
+        """Resolve the in-flight request's wait with ``tag``, withdrawing
+        the completion timer so it cannot fire a second outcome later."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._outcome.trigger(tag)
 
     def inject_stall(self, duration_us: float) -> None:
         """Consume engine time outside any request (context cleanup)."""
@@ -154,25 +180,26 @@ class ExecutionEngine:
         if count == 0:
             return None, None
         now = self.sim.now
+        graphics = RequestKind.GRAPHICS
         earliest_blocked: Optional[float] = None
         any_pending = False
-        for offset in range(count):
-            index = (self._cursor + offset) % count
+        index = self._cursor % count
+        for _ in range(count):
             channel = live[index]
+            index += 1
+            if index == count:
+                index = 0
             if channel.dead or channel.masked or not channel.queue:
                 continue
             any_pending = True
-            if (
-                channel.kind is RequestKind.GRAPHICS
-                and channel._graphics_earliest > now
-            ):
+            if channel.kind is graphics and channel._graphics_earliest > now:
                 if (
                     earliest_blocked is None
                     or channel._graphics_earliest < earliest_blocked
                 ):
                     earliest_blocked = channel._graphics_earliest
                 continue
-            self._cursor = (index + 1) % count
+            self._cursor = index
             return channel, None
         if not any_pending:
             return None, None
@@ -249,26 +276,23 @@ class ExecutionEngine:
                         # size_us is unchanged — it believes the request
                         # is still small.
                         request.remaining_us *= slow.factor
-            segment_start = self.sim.now
+            sim = self.sim
+            segment_start = sim.now
             self.current = request
             self.current_channel = channel
-            self._abort = self.sim.event()
-            self._preempt = self.sim.event()
-
-            waits = [self._abort, self._preempt]
-            timer = None
+            outcome = self._outcome = Event(sim)
             if not request.never_completes:
-                finished = self.sim.event()
-                timer = self.sim.schedule(request.remaining_us, finished.trigger)
-                waits.insert(0, finished)
-            first = yield AnyOf(self.sim, waits)
-            if timer is not None and first is not waits[0]:
-                timer.cancel()
+                self._timer = sim.schedule(
+                    request.remaining_us, outcome.trigger, FINISHED
+                )
+            tag = yield outcome
+            self._outcome = None
+            self._timer = None
 
-            if first is self._preempt:
+            if tag is PREEMPTED:
                 yield from self._suspend(channel, request, segment_start)
             else:
-                self._retire(channel, request, first is self._abort, segment_start)
+                self._retire(channel, request, tag is ABORTED, segment_start)
 
     def _switch_cost(self, channel: Channel) -> float:
         if self._last_context is None:
@@ -293,8 +317,6 @@ class ExecutionEngine:
         channel.queue.appendleft(request)
         self.current = None
         self.current_channel = None
-        self._abort = None
-        self._preempt = None
         save = self.params.preemption_save_restore_us
         yield save
         self.busy_us += save
@@ -337,8 +359,6 @@ class ExecutionEngine:
         channel.running = None
         self.current = None
         self.current_channel = None
-        self._abort = None
-        self._preempt = None
         if not aborted:
             faults = self.device.faults
             if faults is not None:

@@ -336,6 +336,38 @@ class Kernel:
             self.scheduler.on_submit(task, channel, request)
         return completion
 
+    def submit_batch(self, task: Task, channel: "Channel", requests: list[Request]):
+        """Submit back-to-back requests in one kick (a generator).
+
+        The user library's batched doorbell path: on an *unprotected*
+        channel the stores are issued consecutively — one combined
+        direct-write cost, then a single hardware enqueue burst and one
+        engine wake (``GpuDevice.submit_batch``).  On a protected channel
+        every store faults individually, so the batch degrades to the
+        per-request interception path; batching never bypasses the
+        scheduler.  Returns the completion events in submission order.
+        """
+        if not requests:
+            return []
+        if channel.register_page.protected:
+            completions = []
+            for request in requests:
+                completions.append(
+                    (yield from self.submit(task, channel, request))
+                )
+            return completions
+        if self.faults is not None:
+            lag = self.faults.arm(fault_points.KERNEL_SUBMIT_LATENCY, task.name)
+            if lag is not None:
+                yield lag.magnitude_us
+        yield self.costs.direct_submit_us * len(requests)
+        if channel.dead or not task.alive:
+            # Torn down while paying the submit cost; wait for the kill.
+            yield self.sim.event()
+        completions = self.device.submit_batch(channel, requests)
+        self.submit_count += len(requests)
+        return completions
+
     def submit_via_syscall(
         self, task: Task, channel: "Channel", request: Request, driver_work: bool
     ):

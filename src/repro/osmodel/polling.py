@@ -9,6 +9,16 @@ draining, due to the granularity of polling").
 
 The service runs on its own CPU core, so its per-check cost does not slow
 application tasks; it is still accounted (``cpu_us``) for completeness.
+
+Passes are *slotted*: watches are grouped per channel, and a channel is
+only examined when it is **dirty** — its reference counter advanced since
+the last pass (the channel notifies us via ``Channel._pollers``), or a
+watch was registered on it since then.  Quiescent channels cost nothing.
+The *modeled* pass cost is unchanged — the simulated kernel thread still
+reads every watched counter, so ``poll_check_us * len(watches)`` is
+charged exactly as before; only the host-side work is skipped.  Fired
+callbacks run in ascending watch-id order, which is byte-for-byte the
+order the previous full-scan implementation produced.
 """
 
 from __future__ import annotations
@@ -24,19 +34,18 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.osmodel.costs import CostParams
     from repro.sim.engine import Simulator
 
-_watch_ids = itertools.count(1)
-
 
 class _Watch:
     __slots__ = ("watch_id", "channel", "target_ref", "callback", "cancelled")
 
     def __init__(
         self,
+        watch_id: int,
         channel: "Channel",
         target_ref: int,
         callback: Callable[["Channel"], None],
     ) -> None:
-        self.watch_id = next(_watch_ids)
+        self.watch_id = watch_id
         self.channel = channel
         self.target_ref = target_ref
         self.callback = callback
@@ -61,7 +70,16 @@ class PollingService:
         self.cpu = cpu
         #: Optional fault injector (repro.faults); None = no plan installed.
         self.faults = faults
+        #: Watch ids are per-service (an earlier revision used a module
+        #: global, so two kernels' polling threads interleaved their id
+        #: spaces and fresh simulations saw different ids run to run).
+        self._watch_ids = itertools.count(1)
         self._watches: dict[int, _Watch] = {}
+        #: Per-channel watch slots (the calendar of the polling thread).
+        self._slots: dict["Channel", dict[int, _Watch]] = {}
+        #: Channels whose refcounter advanced — or gained a watch — since
+        #: the last pass.  Only these are examined.
+        self._dirty: dict["Channel", None] = {}
         self._prompt: Optional[Event] = None
         #: Cumulative CPU time consumed by polling passes.
         self.cpu_us = 0.0
@@ -83,14 +101,45 @@ class PollingService:
         — that is the point of the model.  Returns a watch id usable with
         :meth:`cancel`.
         """
-        watch = _Watch(channel, target_ref, callback)
-        self._watches[watch.watch_id] = watch
-        return watch.watch_id
+        watch_id = next(self._watch_ids)
+        watch = _Watch(watch_id, channel, target_ref, callback)
+        self._watches[watch_id] = watch
+        slot = self._slots.get(channel)
+        if slot is None:
+            self._slots[channel] = {watch_id: watch}
+            channel._pollers.append(self)
+        else:
+            slot[watch_id] = watch
+        # A fresh watch may already be satisfied; examine the channel on
+        # the next pass regardless of counter movement.
+        self._dirty[channel] = None
+        return watch_id
 
     def cancel(self, watch_id: int) -> None:
         watch = self._watches.pop(watch_id, None)
         if watch is not None:
+            # The flag — not dict membership — is what a mid-pass firing
+            # loop rechecks, so a callback cancelling a sibling watch
+            # reliably suppresses it (see _pass).
             watch.cancelled = True
+            self._drop_slot(watch)
+
+    def _drop_slot(self, watch: _Watch) -> None:
+        channel = watch.channel
+        slot = self._slots.get(channel)
+        if slot is None:
+            return
+        slot.pop(watch.watch_id, None)
+        if not slot:
+            del self._slots[channel]
+            try:
+                channel._pollers.remove(self)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+
+    def mark_dirty(self, channel: "Channel") -> None:
+        """Channel-side notification: the reference counter advanced."""
+        self._dirty[channel] = None
 
     def set_interval(self, interval_us: float) -> None:
         """Change the polling period.
@@ -135,13 +184,35 @@ class PollingService:
 
     def _pass(self) -> None:
         self.passes += 1
+        # The simulated thread reads every watched counter; the host only
+        # touches dirty channels.  The modeled cost must not change.
         self.cpu_us += self.costs.poll_check_us * len(self._watches)
-        fired = [
-            watch
-            for watch in self._watches.values()
-            if not watch.cancelled and watch.satisfied
-        ]
+        dirty = self._dirty
+        if not dirty:
+            return
+        self._dirty = {}
+        fired: list[_Watch] = []
+        slots = self._slots
+        for channel in dirty:
+            slot = slots.get(channel)
+            if not slot:
+                continue
+            refcounter = channel.refcounter
+            for watch in slot.values():
+                if not watch.cancelled and refcounter >= watch.target_ref:
+                    fired.append(watch)
+        if not fired:
+            return
+        # Ascending watch id == registration order == the order the old
+        # full scan fired them in.
+        fired.sort(key=lambda watch: watch.watch_id)
         for watch in fired:
+            # A callback that ran earlier this pass may have cancelled
+            # this watch; it must not fire.  Watches are removed one at a
+            # time, just before their callback, so cancel() can still find
+            # (and flag) any watch that has not fired yet.
+            if watch.cancelled:
+                continue
             self._watches.pop(watch.watch_id, None)
-        for watch in fired:
+            self._drop_slot(watch)
             watch.callback(watch.channel)

@@ -1,18 +1,31 @@
 """The discrete-event simulator core.
 
-A :class:`Simulator` owns the virtual clock and a binary heap of scheduled
+A :class:`Simulator` owns the virtual clock and a queue of scheduled
 callbacks.  Callbacks scheduled for the same instant fire in the order they
 were scheduled (FIFO tie-breaking by a monotonically increasing sequence
 number), which makes every simulation deterministic.
+
+Two event-queue backends implement that order (see
+:mod:`repro.sim.queues`): the default bucketed calendar queue, and the
+classic single binary heap selectable with ``Simulator(queue="heap")`` or
+the ``REPRO_SIM_QUEUE`` environment variable.  The pop order — and with it
+every simulation trajectory — is identical under both; the property tests
+in ``tests/sim/test_queues.py`` enforce that.
 """
 
 from __future__ import annotations
 
-import heapq
+import os
 from typing import Any, Callable, Generator, Optional
 
 from repro.sim.events import Event
 from repro.sim.process import Process
+from repro.sim.queues import COMPACT_MIN_CANCELLED, make_queue
+
+#: Backend used when ``Simulator(queue=None)``: the ``REPRO_SIM_QUEUE``
+#: environment variable ("calendar" or "heap"), read once at import so a
+#: whole experiment run — pool workers included — uses one backend.
+DEFAULT_QUEUE_BACKEND = os.environ.get("REPRO_SIM_QUEUE", "calendar")
 
 
 class TimerHandle:
@@ -23,22 +36,13 @@ class TimerHandle:
     fired is a harmless no-op.
     """
 
-    __slots__ = ("time", "seq", "_fn", "_args", "_cancelled", "_sim", "_popped")
+    __slots__ = ("time", "seq", "_cancelled", "_queue", "_popped")
 
-    def __init__(
-        self,
-        time: float,
-        seq: int,
-        fn: Callable[..., Any],
-        args: tuple,
-        sim: Optional["Simulator"] = None,
-    ):
+    def __init__(self, time: float, seq: int, queue=None):
         self.time = time
         self.seq = seq
-        self._fn = fn
-        self._args = args
         self._cancelled = False
-        self._sim = sim
+        self._queue = queue
         self._popped = False
 
     def cancel(self) -> None:
@@ -46,8 +50,8 @@ class TimerHandle:
         if self._cancelled:
             return
         self._cancelled = True
-        if self._sim is not None and not self._popped:
-            self._sim._note_cancelled()
+        if self._queue is not None and not self._popped:
+            self._queue.note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -77,18 +81,17 @@ class Simulator:
         sim.run(until=100.0)
     """
 
-    #: Compaction threshold: never compact below this many cancelled
-    #: entries (tiny heaps are cheap to scan), and only once cancelled
-    #: entries are the majority (amortizes the O(n) rebuild).
-    COMPACT_MIN_CANCELLED = 64
+    #: Compaction threshold (kept here for introspection; the queue
+    #: backends own the policy — see :mod:`repro.sim.queues`).
+    COMPACT_MIN_CANCELLED = COMPACT_MIN_CANCELLED
 
-    def __init__(self) -> None:
+    def __init__(self, queue: Optional[str] = None) -> None:
         self.now: float = 0.0
-        self._heap: list[TimerHandle] = []
+        self.queue_backend = queue or DEFAULT_QUEUE_BACKEND
+        self._queue = make_queue(self.queue_backend)
         self._seq = 0
         self._running = False
         self._processes: list[Process] = []
-        self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -97,16 +100,42 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` microseconds of virtual time."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self.schedule_at(self.now + delay, fn, *args)
+        queue = self._queue
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = TimerHandle(time, seq, queue)
+        entry = (time, seq, handle, fn, args)
+        if delay == 0.0:
+            queue.push_now(entry)
+        else:
+            queue.push(entry)
+        return handle
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> TimerHandle:
         """Run ``fn(*args)`` at absolute virtual time ``time``."""
-        if time < self.now:
-            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        handle = TimerHandle(time, self._seq, fn, args, sim=self)
+        now = self.now
+        if time < now:
+            raise ValueError(f"cannot schedule in the past: {time} < {now}")
+        queue = self._queue
+        handle = TimerHandle(time, self._seq, queue)
+        entry = (time, self._seq, handle, fn, args)
         self._seq += 1
-        heapq.heappush(self._heap, handle)
+        if time == now:
+            queue.push_now(entry)
+        else:
+            queue.push(entry)
         return handle
+
+    def schedule_now(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Run ``fn(*args)`` at the current instant (internal fast path).
+
+        Identical ordering semantics to ``schedule(0.0, ...)`` but without
+        a cancellation handle — used by the event/process machinery, where
+        stale wakeups are already guarded by tokens or trigger flags.
+        """
+        self._queue.push_now((self.now, self._seq, None, fn, args))
+        self._seq += 1
 
     def event(self) -> Event:
         """Create a fresh one-shot :class:`Event` bound to this simulator."""
@@ -129,21 +158,18 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next pending callback.  Returns False when idle."""
-        while self._heap:
-            handle = heapq.heappop(self._heap)
+        entry = self._queue.pop_live(None)
+        if entry is None:
+            return False
+        handle = entry[2]
+        if handle is not None:
             handle._popped = True
-            if handle.cancelled:
-                self._cancelled_in_heap -= 1
-                continue
-            if handle.time < self.now:  # pragma: no cover - defensive
-                raise RuntimeError("event heap produced a past event")
-            self.now = handle.time
-            handle._fn(*handle._args)
-            return True
-        return False
+        self.now = entry[0]
+        entry[3](*entry[4])
+        return True
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap is empty, or the clock passes ``until``.
+        """Run until the queue is empty, or the clock passes ``until``.
 
         When ``until`` is given, the clock is left exactly at ``until`` even
         if later events remain queued (they stay queued and a subsequent
@@ -152,67 +178,31 @@ class Simulator:
         if self._running:
             raise RuntimeError("Simulator.run is not reentrant")
         self._running = True
+        pop = self._queue.pop_live
         try:
-            if until is None:
-                while self.step():
-                    pass
-                return
-            while self._heap:
-                head = self._peek()
-                if head is None:
+            while True:
+                entry = pop(until)
+                if entry is None:
                     break
-                if head.time > until:
-                    break
-                self.step()
-            if self.now < until:
+                handle = entry[2]
+                if handle is not None:
+                    handle._popped = True
+                self.now = entry[0]
+                entry[3](*entry[4])
+            if until is not None and self.now < until:
                 self.now = until
         finally:
             self._running = False
 
-    def _peek(self) -> Optional[TimerHandle]:
-        while self._heap and self._heap[0].cancelled:
-            handle = heapq.heappop(self._heap)
-            handle._popped = True
-            self._cancelled_in_heap -= 1
-        return self._heap[0] if self._heap else None
-
-    # ------------------------------------------------------------------
-    # Cancelled-entry bookkeeping
-    # ------------------------------------------------------------------
-    def _note_cancelled(self) -> None:
-        """A live heap entry was cancelled; compact when they dominate.
-
-        Without compaction, watchdog/polling patterns that schedule and
-        cancel repeatedly (e.g. a timeout raced against a completion)
-        grow the heap without bound until the deadline finally pops.
-        """
-        self._cancelled_in_heap += 1
-        if (
-            self._cancelled_in_heap >= self.COMPACT_MIN_CANCELLED
-            and self._cancelled_in_heap * 2 >= len(self._heap)
-        ):
-            self._compact()
-
-    def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify the survivors.
-
-        Safe for determinism: heap order is the total order (time, seq),
-        so rebuilding cannot reorder live callbacks.
-        """
-        live = []
-        for handle in self._heap:
-            if handle.cancelled:
-                handle._popped = True
-            else:
-                live.append(handle)
-        heapq.heapify(live)
-        self._heap = live
-        self._cancelled_in_heap = 0
-
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) callbacks in the heap."""
-        return len(self._heap) - self._cancelled_in_heap
+        """Number of live (non-cancelled) scheduled callbacks."""
+        return len(self._queue)
+
+    @property
+    def queued_entries(self) -> int:
+        """Total stored queue entries, cancelled ones included."""
+        return self._queue.allocated
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self.now:.3f}, pending={self.pending_events})"

@@ -23,7 +23,7 @@ terminates them.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Generator, Optional, Union
+from typing import TYPE_CHECKING, Any, Generator, Optional, Union
 
 from repro.sim.events import AnyOf, Event
 
@@ -71,10 +71,9 @@ class Process:
         self.return_value: Any = None
         self._wait_token = 0
         self._pending_timer: Optional["TimerHandle"] = None
-        self._pending_wait: Optional[
-            tuple[Union[Event, AnyOf], Callable[[Event], None]]
-        ] = None
-        sim.schedule(0.0, self._resume, self._wait_token, None, None)
+        #: (wait target, registered waiter pair) backing the current wait.
+        self._pending_wait: Optional[tuple[Union[Event, AnyOf], tuple]] = None
+        sim.schedule_now(self._resume, self._wait_token, None, None)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -92,7 +91,7 @@ class Process:
         self._disarm()
         self._wait_token += 1  # invalidate any outstanding wakeups
         token = self._wait_token
-        self.sim.schedule(0.0, self._resume, token, None, ProcessKilled(reason))
+        self.sim.schedule_now(self._resume, token, None, ProcessKilled(reason))
 
     # ------------------------------------------------------------------
     # Internal stepping machinery
@@ -117,28 +116,32 @@ class Process:
         except Exception as error:
             self._finish(None, killed=False)
             raise ProcessCrashed(self.name, self.sim.now, error) from error
-        self._arm(target)
-
-    def _arm(self, target: Any) -> None:
-        """Register the wakeup corresponding to whatever was yielded."""
-        token = self._wait_token
-
-        def wakeup(event: Event, token: int = token) -> None:
-            self._resume(token, event.value, None)
-
+        # The hot path — plain virtual-time sleeps — needs no wakeup
+        # registration at all, just a timer (inlined here: every resume
+        # ends in an arm, and most arms are sleeps).
         if isinstance(target, (int, float)):
             self._pending_timer = self.sim.schedule(
-                float(target), self._resume, token, None, None
+                float(target), self._resume, self._wait_token, None, None
             )
-        elif isinstance(target, Event):
-            target.add_callback(wakeup)
-            self._pending_wait = (target, wakeup)
+        else:
+            self._arm(target)
+
+    def _arm(self, target: Any) -> None:
+        """Register the wakeup corresponding to a non-numeric yield."""
+        token = self._wait_token
+
+        # Event waits register a (resume, token) pair instead of a wakeup
+        # closure; the event's trigger path dispatches it directly.
+        waiter = (self._resume, token)
+        if isinstance(target, Event):
+            target.add_waiter(waiter)
+            self._pending_wait = (target, waiter)
         elif isinstance(target, AnyOf):
-            target.proxy.add_callback(wakeup)
-            self._pending_wait = (target, wakeup)
+            target.proxy.add_waiter(waiter)
+            self._pending_wait = (target, waiter)
         elif isinstance(target, Process):
-            target.done.add_callback(wakeup)
-            self._pending_wait = (target.done, wakeup)
+            target.done.add_waiter(waiter)
+            self._pending_wait = (target.done, waiter)
         else:
             raise TypeError(
                 f"process {self.name!r} yielded unsupported value: {target!r}"

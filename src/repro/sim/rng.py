@@ -13,12 +13,48 @@ import zlib
 import numpy as np
 
 
+class BatchedNormals:
+    """Standard-normal draws served from a vectorized-ahead buffer.
+
+    ``Generator.standard_normal(n)`` consumes the underlying bit stream
+    exactly as ``n`` scalar calls would, so refilling in batches changes
+    host-side cost only — the sequence of draws is bit-identical to
+    drawing one at a time, and ``loc + scale * z`` reproduces
+    ``Generator.normal(loc, scale)`` exactly.  The one caveat: the wrapped
+    generator's state runs *ahead* of the draws handed out, so a stream
+    must not be read both through a batcher and directly.
+    """
+
+    __slots__ = ("_generator", "_batch", "_buffer", "_index")
+
+    def __init__(self, generator: np.random.Generator, batch: int = 512) -> None:
+        if batch < 1:
+            raise ValueError("batch size must be positive")
+        self._generator = generator
+        self._batch = batch
+        self._buffer: list[float] = []
+        self._index = 0
+
+    def draw(self) -> float:
+        """The next standard-normal variate in stream order."""
+        index = self._index
+        buffer = self._buffer
+        if index >= len(buffer):
+            buffer = self._buffer = self._generator.standard_normal(
+                self._batch
+            ).tolist()
+            index = 0
+        self._index = index + 1
+        return buffer[index]
+
+
 class RngRegistry:
     """A factory of independent, reproducible ``numpy`` generators."""
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: dict[str, np.random.Generator] = {}
+        self._normals: dict[str, BatchedNormals] = {}
 
     def stream(self, name: str) -> np.random.Generator:
         """Return the generator for ``name``, creating it on first use.
@@ -33,6 +69,19 @@ class RngRegistry:
             generator = np.random.default_rng(sequence)
             self._streams[name] = generator
         return generator
+
+    def normals(self, name: str, batch: int = 512) -> BatchedNormals:
+        """A :class:`BatchedNormals` view of the named stream (cached).
+
+        The batcher takes over the stream's normal draws; mixing it with
+        direct reads of :meth:`stream` for the same name would interleave
+        two consumers on one bit stream.
+        """
+        batched = self._normals.get(name)
+        if batched is None:
+            batched = BatchedNormals(self.stream(name), batch)
+            self._normals[name] = batched
+        return batched
 
     def __contains__(self, name: str) -> bool:
         return name in self._streams

@@ -54,6 +54,7 @@ class Workload:
         self.sim = sim
         self.kernel = kernel
         self.rng = rng.stream(f"workload.{self.name}")
+        self._normals = rng.normals(f"workload.{self.name}")
         self.task = kernel.create_task(self.name)
         self.task.workload = self
         self.task.process = sim.spawn(self._run(), name=f"task.{self.name}")
@@ -104,6 +105,21 @@ class Workload:
             yield completion
         return completion
 
+    def submit_burst(self, channel: "Channel", sizes_us: list):
+        """Submit a burst of non-blocking requests as one batch.
+
+        A generator — drive with ``yield from``.  Uses the kernel's
+        batched doorbell path, so the back-to-back enqueues coalesce into
+        a single engine wake event.  Returns the completion events in
+        submission order.
+        """
+        requests = [Request(channel.kind, size_us, False) for size_us in sizes_us]
+        self.requests.extend(requests)
+        completions = yield from self.kernel.submit_batch(
+            self.task, channel, requests
+        )
+        return completions
+
     def submit_pipelined(self, channel: "Channel", size_us: float, depth: int):
         """Submit a non-blocking request, bounding outstanding ones.
 
@@ -143,7 +159,10 @@ class Workload:
         """A mean-preserving lognormal jitter around ``mean_us``."""
         if mean_us <= 0 or sigma <= 0:
             return max(mean_us, 0.0)
-        draw = self.rng.normal(0.0, sigma)
+        # Batched standard normals scaled by sigma: bit-identical to
+        # ``self.rng.normal(0.0, sigma)`` one call at a time, without the
+        # per-draw numpy dispatch (see repro.sim.rng.BatchedNormals).
+        draw = self._normals.draw() * sigma
         return mean_us * math.exp(draw - sigma * sigma / 2.0)
 
     # ------------------------------------------------------------------

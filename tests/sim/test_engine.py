@@ -125,7 +125,7 @@ def test_heap_stays_bounded_under_schedule_cancel_loop(sim):
     for _ in range(10_000):
         sim.schedule(1_000_000.0, lambda: None).cancel()
     assert sim.pending_events == 0
-    assert len(sim._heap) <= 2 * sim.COMPACT_MIN_CANCELLED
+    assert sim.queued_entries <= 2 * sim.COMPACT_MIN_CANCELLED
 
 
 def test_compaction_preserves_execution_order(sim):
@@ -137,7 +137,7 @@ def test_compaction_preserves_execution_order(sim):
         handles.append(sim.schedule(float(index) + 0.5, order.append, -index))
     for handle in handles:
         handle.cancel()
-    assert len(sim._heap) < 300  # compaction ran
+    assert sim.queued_entries < 300  # compaction ran
     sim.run()
     assert order == list(range(200))
 
