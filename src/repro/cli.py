@@ -5,7 +5,9 @@ catalog; ``repro all`` regenerates everything (slow).  ``repro staticcheck``
 runs the neonlint static analyzer (see docs/STATIC_ANALYSIS.md).
 ``repro trace`` records, summarizes, filters, exports, and diffs
 structured traces; ``repro perf`` records, tabulates, diffs, and gates
-cross-run performance records (see docs/OBSERVABILITY.md).
+cross-run performance records; ``repro monitor`` runs any experiment
+with streaming windowed metrics and SLO monitors over the live trace
+stream (see docs/OBSERVABILITY.md).
 
 Cell-farm experiments (the figure drivers) accept ``--workers N`` to fan
 independent simulation cells out over a process pool, and share a
@@ -170,6 +172,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.obs.perf import main as perf_main
 
         return perf_main(argv[1:])
+    if argv and argv[0] == "monitor":
+        # Streaming windowed metrics + SLO monitors over a live run.
+        from repro.obs.monitor import main as monitor_main
+
+        return monitor_main(argv[1:])
     if argv and argv[0] == "chaos":
         # And the fault-injection chaos matrix (matrix/run/plans); it is
         # deliberately not part of EXPERIMENTS so ``repro all`` output

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Optional, Type
 
 from repro.core.hardening import DrainWatchdog
 from repro.neon.interception import InterceptionManager
+from repro.obs import events
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.channel import Channel
@@ -112,6 +113,30 @@ class SchedulerBase:
         self, task: "Task", channel: "Channel", request: "Request"
     ) -> None:
         """An intercepted submission actually reached the device."""
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def emit_share_sample(
+        self,
+        task: "Task",
+        usage_us: float,
+        interval_us: Optional[float] = None,
+    ) -> None:
+        """Attribute ``usage_us`` of device time to ``task`` over the
+        scheduling interval just settled.
+
+        Emitted at engagement boundaries (episode settlement, slice end)
+        so the streaming windows (:mod:`repro.obs.windows`) can integrate
+        per-tenant shares online.  Free when tracing is off.
+        """
+        trace = self.kernel.trace
+        if trace.enabled:
+            trace.emit(
+                self.sim.now, self.name, events.SHARE_SAMPLE,
+                task=task.name, usage_us=usage_us,
+                interval_us=usage_us if interval_us is None else interval_us,
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(tasks={len(self.managed_tasks)})"

@@ -287,13 +287,19 @@ class DisengagedFairQueueing(SchedulerBase):
                 self.vt.lift_inactive(task.task_id)
         if trace.enabled:
             for task in active_tasks:
+                task_usage = (usage.get(task.task_id, 0.0)
+                              + sampled_usage.get(task.task_id, 0.0))
                 trace.emit(
                     self.sim.now, self.name, events.VT_UPDATE,
                     task=task.name,
-                    usage_us=usage.get(task.task_id, 0.0)
-                    + sampled_usage.get(task.task_id, 0.0),
+                    usage_us=task_usage,
                     vt=self.vt.get(task.task_id),
                     system_vt=self.vt.system_vt,
+                )
+                trace.emit(
+                    self.sim.now, self.name, events.SHARE_SAMPLE,
+                    task=task.name, usage_us=task_usage,
+                    interval_us=self._last_freerun_us,
                 )
 
         upcoming = self._freerun_length(len(active_tasks))

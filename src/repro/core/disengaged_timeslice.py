@@ -58,3 +58,4 @@ class DisengagedTimeslice(TimesliceScheduler):
             flips = self.neon.engage_all()
             yield self.neon.flip_cost(flips)
             yield from self._settle_slice(task)
+            self.emit_share_sample(task, self.sim.now - self._slice_started)

@@ -37,6 +37,7 @@ class TimesliceScheduler(SchedulerBase):
         self._rr_index = 0
         self._activation: Optional["Event"] = None
         self.slices_granted = 0
+        self._slice_started = 0.0
         self.sim.spawn(self._loop(), name=f"{self.name}-scheduler")
 
     # ------------------------------------------------------------------
@@ -97,6 +98,7 @@ class TimesliceScheduler(SchedulerBase):
     def _grant(self, task: "Task") -> None:
         self.token_holder = task
         self.slices_granted += 1
+        self._slice_started = self.sim.now
         self.kernel.metrics.inc("token_passes", task.name)
         trace = self.kernel.trace
         if trace.enabled:
@@ -124,6 +126,9 @@ class TimesliceScheduler(SchedulerBase):
             yield self.costs.timeslice_us
             self.token_holder = None
             yield from self._settle_slice(task)
+            # The slice (plus any drain excess) was the task's exclusive
+            # interval; attribute it for the streaming share windows.
+            self.emit_share_sample(task, self.sim.now - self._slice_started)
 
     def _settle_slice(self, task: "Task"):
         """End-of-slice: drain the holder, charge overuse, kill runaways.

@@ -51,6 +51,7 @@ from repro.experiments.progress import active_progress
 from repro.experiments.runner import WorkloadResult
 from repro.metrics.rounds import RoundStats
 from repro.obs import profile as phases
+from repro.obs.monitor import active_monitor
 from repro.obs.store import RunCollector, active_collector
 
 CellResults = dict[str, WorkloadResult]
@@ -279,6 +280,7 @@ def run_cells(
     profiler = phases.get_profiler()
     collector = active_collector()
     progress = active_progress()
+    monitor_session = active_monitor()
     collected: set[int] = set()
 
     results: list[Optional[CellResults]] = [None] * len(specs)
@@ -309,6 +311,8 @@ def run_cells(
                     )
                 _collect_cell(collector, collected, spec, index, key,
                               "cache", 0.0, cached_wall, cached)
+                if monitor_session is not None:
+                    monitor_session.cell_reused(spec.label(), "cache")
                 if progress is not None:
                     progress.cell_done(index, spec.label(), "cache", 0.0)
                 continue
@@ -318,7 +322,14 @@ def run_cells(
         pending.append(index)
 
     workers = max(1, min(int(workers), len(pending) or 1))
-    use_pool = workers > 1 and all(_picklable(specs[i]) for i in pending)
+    # A monitoring session lives in this process (module-level hooks and
+    # live sinks don't cross a pool boundary), so monitored cells always
+    # execute serially in the parent.
+    use_pool = (
+        workers > 1
+        and monitor_session is None
+        and all(_picklable(specs[i]) for i in pending)
+    )
     computed_wall: dict[int, float] = {}
 
     if use_pool and pending:
@@ -369,6 +380,8 @@ def run_cells(
     if not use_pool:
         for index in pending:
             spec = specs[index]
+            if monitor_session is not None:
+                monitor_session.begin_cell(spec.label())
             if progress is not None:
                 progress.cell_running(index, spec.label())
             started = clock()
@@ -406,6 +419,8 @@ def run_cells(
                     )
                 _collect_cell(collector, collected, specs[index], index, key,
                               "dup", 0.0, owner_wall, results[index])
+                if monitor_session is not None:
+                    monitor_session.cell_reused(specs[index].label(), "dup")
                 if progress is not None:
                     progress.cell_done(index, specs[index].label(), "dup", 0.0)
 

@@ -17,6 +17,7 @@ from repro.gpu.device import GpuDevice
 from repro.gpu.params import GpuParams
 from repro.metrics.rounds import RoundStats
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitor import active_monitor
 from repro.osmodel.costs import CostParams
 from repro.osmodel.kernel import ChannelQuotaPolicy, Kernel, MemoryQuotaPolicy
 from repro.sim.engine import Simulator
@@ -130,6 +131,12 @@ def run_workloads(
     for workload in workloads:
         workload.start(env.sim, env.kernel, env.rng)
     env.sim.run(until=duration_us)
+    monitor = getattr(env.trace, "monitor", None)
+    if monitor is not None:
+        # Close the final (possibly partial) streaming window before the
+        # per-task metric snapshots below, so windows_closed / slo_*
+        # counters cover the whole run.
+        monitor.finalize(env.sim.now)
     dropped = getattr(env.trace, "dropped", 0)
     if dropped:
         # Ring-buffer evictions make the trace partial; surface that in
@@ -168,12 +175,27 @@ def measure(
     fault_plan: Optional[FaultPlan] = None,
 ) -> dict[str, WorkloadResult]:
     """Build a fresh system, run the workload mix, return results."""
+    session = active_monitor()
+    if session is None:
+        env = build_env(
+            scheduler, seed=seed, costs=costs, gpu_params=gpu_params,
+            fault_plan=fault_plan,
+        )
+        workloads = [factory() for factory in factories]
+        return run_workloads(env, workloads, duration_us, warmup_us)
+    # Monitored run: the simulation shares the monitor's live-sink trace
+    # recorder and metrics registry, so streaming windows see every event
+    # regardless of ring-buffer capacity.
+    monitor = session.begin_run()
     env = build_env(
         scheduler, seed=seed, costs=costs, gpu_params=gpu_params,
-        fault_plan=fault_plan,
+        fault_plan=fault_plan, trace=monitor.trace, metrics=monitor.metrics,
     )
     workloads = [factory() for factory in factories]
-    return run_workloads(env, workloads, duration_us, warmup_us)
+    try:
+        return run_workloads(env, workloads, duration_us, warmup_us)
+    finally:
+        session.end_run(monitor)
 
 
 def solo_baseline(

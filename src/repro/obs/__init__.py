@@ -20,6 +20,14 @@ The observability layer sits *beside* the simulation, not inside it:
   neonlint-whitelisted host-clock owner besides the cell farm).
 * :mod:`repro.obs.store` — append-only cross-run record store
   (``repro perf``: record / history / compare / gate).
+* :mod:`repro.obs.windows` — streaming tumbling/sliding windows of
+  per-tenant metrics over the live trace stream (shares, engaged time,
+  throughput, fixed-bin latency quantiles, per-window Jain index).
+* :mod:`repro.obs.slo` — declarative SLO rules evaluated at window
+  close (starvation, fairness floor, tail latency, overuse budget).
+* :mod:`repro.obs.monitor` — glue + the ``repro monitor`` subcommand
+  (NOT imported here: it is imported by the experiments layer, which
+  the core schedulers must never transitively reach).
 * :mod:`repro.obs.cli` — the ``repro trace`` subcommand.
 * :mod:`repro.obs.perf` — the ``repro perf`` subcommand.
 
@@ -31,9 +39,15 @@ from repro.obs.engagement import EngagementLedger
 from repro.obs.events import EVENT_KINDS, EventKindSpec, registered_kinds
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 from repro.obs.profile import NullProfiler, PhaseProfiler, profiling
+from repro.obs.slo import SloEngine, SloRule
 from repro.obs.store import RunCollector, RunStore, collecting
+from repro.obs.windows import WindowAggregator, WindowConfig
 
 __all__ = [
+    "WindowAggregator",
+    "WindowConfig",
+    "SloEngine",
+    "SloRule",
     "EVENT_KINDS",
     "EventKindSpec",
     "registered_kinds",

@@ -118,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("chrome", "jsonl"), default="chrome",
         help="output format (default: chrome)",
     )
+    export.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when the trace lost records to ring-buffer "
+        "eviction (the export is still written)",
+    )
     export.add_argument("-o", "--output", default=None)
 
     diff = sub.add_parser(
@@ -314,6 +319,13 @@ def cmd_export(args: argparse.Namespace) -> int:
             stream.close()
     if close:
         print(f"wrote {count} events to {args.output}", file=sys.stderr)
+    if args.strict and trace.dropped:
+        print(
+            f"strict: trace is PARTIAL ({trace.dropped} records evicted "
+            "by the ring buffer before recording finished)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -22,8 +22,9 @@ class EventKindSpec:
     """One registered trace event kind."""
 
     kind: str
-    #: Layer that emits it: "gpu", "kernel", "neon", "scheduler", or
-    #: "faults" (the injection/watchdog subsystem, repro.faults).
+    #: Layer that emits it: "gpu", "kernel", "neon", "scheduler",
+    #: "faults" (the injection/watchdog subsystem, repro.faults), or
+    #: "obs" (the streaming monitor, repro.obs.windows / repro.obs.slo).
     layer: str
     description: str
     #: Payload field names the emit sites provide (documentation +
@@ -41,7 +42,7 @@ def register_event_kind(
     """Register a kind; returns the kind string (assign it to a constant)."""
     if kind in EVENT_KINDS:
         raise ValueError(f"event kind {kind!r} registered twice")
-    if layer not in ("gpu", "kernel", "neon", "scheduler", "faults"):
+    if layer not in ("gpu", "kernel", "neon", "scheduler", "faults", "obs"):
         raise ValueError(f"unknown layer {layer!r} for event kind {kind!r}")
     EVENT_KINDS[kind] = EventKindSpec(kind, layer, description, payload)
     return kind
@@ -189,6 +190,12 @@ REQUEST_RELEASED = register_event_kind(
     "a per-request scheduler released a held request for dispatch",
     ("task",),
 )
+SHARE_SAMPLE = register_event_kind(
+    "share_sample", "scheduler",
+    "per-tenant device usage attributed over a scheduling interval "
+    "(episode settlement or slice end); feeds the streaming windows",
+    ("task", "usage_us", "interval_us"),
+)
 
 # ----------------------------------------------------------------------
 # Fault-injection / watchdog layer (repro.faults, repro.core.hardening)
@@ -217,4 +224,23 @@ FAULT_ESCALATED = register_event_kind(
     "fault_escalated", "faults",
     "watchdog retries were exhausted (or a runaway attributed): task killed",
     ("task", "reason"),
+)
+
+# ----------------------------------------------------------------------
+# Streaming-observability layer (repro.obs.windows / repro.obs.slo)
+# ----------------------------------------------------------------------
+WINDOW_CLOSE = register_event_kind(
+    "window.close", "obs",
+    "a metrics window closed: per-tenant aggregates and Jain's index",
+    ("window", "start_us", "end_us", "tenants", "jain"),
+)
+SLO_VIOLATION = register_event_kind(
+    "slo.violation", "obs",
+    "an SLO rule entered the violated state at a window close",
+    ("rule", "slo_kind", "task", "window", "value", "threshold"),
+)
+SLO_RECOVERED = register_event_kind(
+    "slo.recovered", "obs",
+    "a previously violated SLO rule cleared at a window close",
+    ("rule", "slo_kind", "task", "window", "violated_windows"),
 )

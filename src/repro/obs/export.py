@@ -199,10 +199,23 @@ def chrome_trace_events(trace: TraceRecorder) -> list[dict]:
 
 
 def write_chrome_trace(trace: TraceRecorder, stream: IO[str]) -> int:
-    """Write the Perfetto-loadable JSON object; returns event count."""
+    """Write the Perfetto-loadable JSON object; returns event count.
+
+    The top-level ``metadata`` object carries the recorder's eviction
+    counter, so a viewer (or a strict exporter) can tell a complete
+    timeline from one whose head fell out of the ring buffer.
+    """
     trace_events = chrome_trace_events(trace)
     json.dump(
-        {"traceEvents": trace_events, "displayTimeUnit": "ms"},
+        {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "metadata": {
+                "format": JSONL_FORMAT,
+                "records": len(trace),
+                "dropped": trace.dropped,
+            },
+        },
         stream,
         sort_keys=True,
     )

@@ -29,6 +29,34 @@ DEFAULT_BUCKETS_US = (
     1_000.0, 2_000.0, 5_000.0, 10_000.0, 50_000.0, 250_000.0, 1_000_000.0,
 )
 
+#: Catalog of every counter name the system bumps, with a one-line
+#: meaning.  The registry-completeness test scans the source tree for
+#: ``metrics.inc("...")`` / ``metrics.counter("...")`` sites and rejects
+#: any name missing here, so the catalog cannot silently drift.
+KNOWN_COUNTERS: dict[str, str] = {
+    "faults": "register-page faults taken, by task",
+    "submits": "requests that reached the device, by task",
+    "releases": "requests released for dispatch by a per-request scheduler",
+    "episodes": "DFQ engagement episodes run, by scheduler name",
+    "denials": "intervals a task was denied device access",
+    "token_passes": "timeslice token handoffs, by task",
+    "overuse_charged_us": "overuse charged past slice boundaries, by task",
+    "task_kills": "tasks killed by the kernel (runaway protection)",
+    "faults_injected": "injector fault specs fired, by task",
+    "fault_detections": "stuck drains the watchdog attributed, by task",
+    "fault_recoveries": "detected faults resolved without a kill, by task",
+    "fault_escalations": "watchdog escalations to a kill, by task",
+    "watchdog_retries": "backed-off watchdog re-drains, by task",
+    "windows_closed": "streaming metric windows closed, by monitor",
+    "slo_violations": "SLO rules entering the violated state, by task",
+    "slo_recoveries": "SLO rules clearing a violation, by task",
+}
+
+#: Catalog of every histogram name, same contract as KNOWN_COUNTERS.
+KNOWN_HISTOGRAMS: dict[str, str] = {
+    "request_latency_us": "submit-to-retire latency, by task",
+}
+
 
 class Counter:
     """A monotonically increasing value per label."""

@@ -185,6 +185,7 @@ def build_record(
     cache_misses: int = 0,
     output_sha256: Optional[str] = None,
     note: Optional[str] = None,
+    monitor: Optional[dict[str, Any]] = None,
 ) -> dict[str, Any]:
     """Assemble one JSON-able run record (``run_id`` is assigned on append).
 
@@ -195,8 +196,12 @@ def build_record(
     pool *completion* order, which varies run to run, but flattened
     paths (``cells.N.…``) address by list position — so the list must be
     in a canonical order for two runs of the same experiment to align.
+
+    ``monitor`` (a :meth:`repro.obs.monitor.MonitorSession.summary` dict)
+    is an additive key: absent entirely on unmonitored runs, so gating a
+    monitored record against a pre-monitor baseline still works.
     """
-    return {
+    record = {
         "schema": RECORD_SCHEMA,
         "run_id": None,
         "experiment": collector.experiment,
@@ -214,6 +219,9 @@ def build_record(
         "output_sha256": output_sha256,
         "note": note,
     }
+    if monitor is not None:
+        record["monitor"] = monitor
+    return record
 
 
 # ----------------------------------------------------------------------

@@ -14,6 +14,15 @@ Recording is cheap and bounded:
 * the :attr:`TraceRecorder.enabled` flag lets hot paths skip payload
   construction entirely when tracing is off (:class:`NullRecorder`).
 
+Consumers that need the *stream* rather than the *buffer* register a
+live sink with :meth:`TraceRecorder.add_sink`: every record that passes
+the kind filter is delivered to each sink as it is emitted, before (and
+independent of) ring-buffer retention, so a sink sees the complete
+stream even when ``max_records`` evicts.  This is what the streaming
+observability engine (:mod:`repro.obs.windows`) subscribes through.
+Recorders built with ``retain=False`` skip buffering entirely and act as
+pure stream fan-out points for unbounded horizons.
+
 Event *kinds* are typed constants registered in :mod:`repro.obs.events`;
 neonlint rule NEON401/NEON402 rejects emit sites using unregistered
 string literals.
@@ -23,7 +32,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Optional
+from typing import Any, Callable, Iterable, Iterator, Optional
 
 #: Default ring-buffer capacity used by tracing entry points that record
 #: every kind (the ``repro trace`` CLI, ``build_env(trace=...)`` helpers).
@@ -55,12 +64,17 @@ class TraceRecorder:
         keeps every record — callers recording long runs should pass a
         cap (the observability CLI defaults to
         :data:`DEFAULT_TRACE_CAP`).
+    retain:
+        When False, nothing is buffered at all (``len`` stays 0 and
+        :attr:`dropped` never advances); the recorder only fans records
+        out to its sinks.  Use for unbounded streaming consumers.
     """
 
     def __init__(
         self,
         kinds: Optional[Iterable[str]] = None,
         max_records: Optional[int] = None,
+        retain: bool = True,
     ) -> None:
         if max_records is not None and max_records < 1:
             raise ValueError("max_records must be >= 1")
@@ -68,6 +82,10 @@ class TraceRecorder:
         self._kinds: Optional[frozenset[str]] = (
             frozenset(kinds) if kinds is not None else None
         )
+        self._retain = bool(retain)
+        #: Live consumers; each is called with every record that passes
+        #: the kind filter, in emission order, before buffering.
+        self._sinks: list[Callable[[TraceRecord], None]] = []
         #: Records evicted by the ring buffer (oldest-first), NOT records
         #: rejected by the kind filter.
         self.dropped = 0
@@ -79,18 +97,67 @@ class TraceRecorder:
     def max_records(self) -> Optional[int]:
         return self._records.maxlen
 
+    @property
+    def retain(self) -> bool:
+        return self._retain
+
+    # ------------------------------------------------------------------
+    # Live sinks
+    # ------------------------------------------------------------------
+    def add_sink(
+        self, sink: Callable[[TraceRecord], None]
+    ) -> Callable[[TraceRecord], None]:
+        """Subscribe a live consumer to the record stream.
+
+        ``sink`` is called once per record (after the kind filter, before
+        ring-buffer retention), in emission order.  Delivery is
+        independent of ``max_records`` eviction: a sink sees the complete
+        stream even when the buffer drops.  Sinks may re-enter
+        :meth:`emit` (e.g. the streaming monitor records ``window.close``
+        events); re-entrant records are delivered to sinks too.
+
+        Returns ``sink`` so callers can keep the handle for
+        :meth:`remove_sink`.
+        """
+        if not callable(sink):
+            raise TypeError("trace sink must be callable")
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: Callable[[TraceRecord], None]) -> None:
+        """Unsubscribe a sink; unknown sinks are ignored."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    @property
+    def sinks(self) -> tuple[Callable[[TraceRecord], None], ...]:
+        return tuple(self._sinks)
+
     def emit(self, time: float, source: str, kind: str, **payload: Any) -> None:
         """Record an event if its kind passes the filter."""
         if self._kinds is not None and kind not in self._kinds:
             return
+        record = TraceRecord(time, source, kind, payload)
+        if self._sinks:
+            for sink in self._sinks:
+                sink(record)
+        if not self._retain:
+            return
         records = self._records
         if records.maxlen is not None and len(records) == records.maxlen:
             self.dropped += 1
-        records.append(TraceRecord(time, source, kind, payload))
+        records.append(record)
 
     def append(self, record: TraceRecord) -> None:
         """Insert an existing record (trace import path); same bounds."""
         if self._kinds is not None and record.kind not in self._kinds:
+            return
+        if self._sinks:
+            for sink in self._sinks:
+                sink(record)
+        if not self._retain:
             return
         records = self._records
         if records.maxlen is not None and len(records) == records.maxlen:

@@ -37,3 +37,21 @@ def test_max_slowdown_ratio_ignores_nan():
 
 def test_max_slowdown_ratio_empty_is_nan():
     assert math.isnan(max_slowdown_ratio([]))
+
+
+def test_jain_single_tenant_is_fair():
+    assert jain_index([7.5]) == pytest.approx(1.0)
+
+
+def test_jain_all_zero_is_nan():
+    assert math.isnan(jain_index([0.0, 0.0, 0.0]))
+
+
+def test_jain_ignores_negative_shares():
+    assert jain_index([-1.0, 2.0, 2.0]) == pytest.approx(1.0)
+
+
+def test_jain_lower_bound_is_one_over_n():
+    n = 8
+    shares = [1.0] + [0.0] * (n - 1)
+    assert jain_index(shares) == pytest.approx(1.0 / n)

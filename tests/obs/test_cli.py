@@ -145,3 +145,36 @@ def test_dropped_records_reach_the_run_collector():
 def test_top_level_cli_delegates(capsys):
     assert repro_main(["trace", "kinds"]) == 0
     assert "barrier_begin" in capsys.readouterr().out
+
+
+def test_export_strict_passes_on_complete_trace(trace_file, tmp_path):
+    out_path = tmp_path / "ok.chrome.json"
+    code = trace_main([
+        "export", str(trace_file), "--strict", "-o", str(out_path),
+    ])
+    assert code == 0
+    assert json.loads(out_path.read_text())["metadata"]["dropped"] == 0
+
+
+def test_export_strict_fails_on_partial_trace(tmp_path, capsys):
+    # Record with a tiny ring buffer so eviction is guaranteed, then
+    # demand a complete trace: the export is still written, but the exit
+    # code and a stderr diagnostic flag the loss.
+    trace_path = tmp_path / "partial.jsonl"
+    assert trace_main([
+        "record", *RUN_ARGS, "--max-records", "50", "-o", str(trace_path),
+    ]) == 0
+    out_path = tmp_path / "partial.chrome.json"
+    code = trace_main([
+        "export", str(trace_path), "--strict", "-o", str(out_path),
+    ])
+    assert code == 1
+    assert "PARTIAL" in capsys.readouterr().err
+    document = json.loads(out_path.read_text())
+    assert document["metadata"]["dropped"] > 0
+    assert document["traceEvents"]
+
+    # Without --strict the same export exits cleanly.
+    assert trace_main([
+        "export", str(trace_path), "-o", str(out_path),
+    ]) == 0

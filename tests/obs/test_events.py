@@ -9,7 +9,9 @@ from tests.obs.conftest import traced_run
 def test_every_spec_is_self_consistent():
     for kind, spec in events.EVENT_KINDS.items():
         assert spec.kind == kind
-        assert spec.layer in ("gpu", "kernel", "neon", "scheduler", "faults")
+        assert spec.layer in (
+            "gpu", "kernel", "neon", "scheduler", "faults", "obs"
+        )
         assert spec.description
         assert all(isinstance(field, str) for field in spec.payload)
 

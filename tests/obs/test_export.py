@@ -127,3 +127,19 @@ def test_full_run_round_trips_and_exports(dfq_run):
     write_chrome_trace(restored, chrome)
     document = json.loads(chrome.getvalue())
     assert len(document["traceEvents"]) > len(trace)
+
+
+def test_chrome_metadata_carries_dropped_count():
+    capped = TraceRecorder(max_records=2)
+    for t in (1.0, 2.0, 3.0):
+        capped.emit(t, "x", events.FAULT, task="a")
+    buffer = io.StringIO()
+    write_chrome_trace(capped, buffer)
+    document = json.loads(buffer.getvalue())
+    assert document["metadata"]["format"] == JSONL_FORMAT
+    assert document["metadata"]["records"] == 2
+    assert document["metadata"]["dropped"] == 1
+
+    buffer = io.StringIO()
+    write_chrome_trace(small_trace(), buffer)
+    assert json.loads(buffer.getvalue())["metadata"]["dropped"] == 0

@@ -99,3 +99,54 @@ def test_task_view_flat_and_uniform():
     view_b = registry.task_view("b")
     assert set(view_b) == set(view_a)
     assert all(value == 0.0 for value in view_b.values())
+
+
+# ----------------------------------------------------------------------
+# Registry completeness: the KNOWN_* catalogs cannot silently drift from
+# the instrument names the source tree actually bumps.
+# ----------------------------------------------------------------------
+
+def _instrument_names(pattern):
+    import re
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    regex = re.compile(pattern)
+    found = {}
+    for path in sorted(src.rglob("*.py")):
+        if path.name == "metrics.py":
+            continue  # the catalog itself
+        for name in regex.findall(path.read_text()):
+            found.setdefault(name, str(path.relative_to(src)))
+    return found
+
+
+def test_every_counter_site_is_cataloged():
+    from repro.obs.metrics import KNOWN_COUNTERS
+
+    sites = _instrument_names(
+        r"""metrics\.(?:inc|counter)\(\s*["']([a-z_]+)["']"""
+    )
+    assert sites, "the scan found no counter sites at all (regex broken?)"
+    unknown = {n: f for n, f in sites.items() if n not in KNOWN_COUNTERS}
+    assert not unknown, f"counters bumped but not in KNOWN_COUNTERS: {unknown}"
+
+
+def test_every_histogram_site_is_cataloged():
+    from repro.obs.metrics import KNOWN_HISTOGRAMS
+
+    sites = _instrument_names(
+        r"""metrics\.(?:observe|histogram)\(\s*["']([a-z_]+)["']"""
+    )
+    assert sites, "the scan found no histogram sites at all (regex broken?)"
+    unknown = {n: f for n, f in sites.items() if n not in KNOWN_HISTOGRAMS}
+    assert not unknown, (
+        f"histograms observed but not in KNOWN_HISTOGRAMS: {unknown}"
+    )
+
+
+def test_monitor_counters_are_cataloged():
+    from repro.obs.metrics import KNOWN_COUNTERS
+
+    for name in ("windows_closed", "slo_violations", "slo_recoveries"):
+        assert name in KNOWN_COUNTERS

@@ -110,3 +110,78 @@ def test_clear_resets_dropped():
     recorder.clear()
     assert len(recorder) == 0
     assert recorder.dropped == 0
+
+
+# ----------------------------------------------------------------------
+# Live sinks (streaming observability)
+# ----------------------------------------------------------------------
+
+def test_sink_receives_every_emitted_record():
+    recorder = TraceRecorder()
+    seen = []
+    recorder.add_sink(seen.append)
+    recorder.emit(1.0, "x", "a", i=1)
+    recorder.emit(2.0, "x", "b", i=2)
+    assert [(r.time, r.kind) for r in seen] == [(1.0, "a"), (2.0, "b")]
+
+
+def test_sink_sees_records_the_ring_buffer_evicts():
+    recorder = TraceRecorder(max_records=2)
+    seen = []
+    recorder.add_sink(seen.append)
+    for i in range(10):
+        recorder.emit(float(i), "x", "k", i=i)
+    assert len(recorder) == 2
+    assert recorder.dropped == 8
+    # The sink saw the full stream regardless of eviction.
+    assert [r.time for r in seen] == [float(i) for i in range(10)]
+
+
+def test_sink_respects_kind_filter():
+    recorder = TraceRecorder(kinds=["keep"])
+    seen = []
+    recorder.add_sink(seen.append)
+    recorder.emit(1.0, "x", "drop")
+    recorder.emit(2.0, "x", "keep")
+    assert [r.kind for r in seen] == ["keep"]
+
+
+def test_retain_false_fans_out_without_buffering():
+    recorder = TraceRecorder(retain=False)
+    seen = []
+    recorder.add_sink(seen.append)
+    for i in range(5):
+        recorder.emit(float(i), "x", "k")
+    assert len(recorder) == 0
+    assert recorder.dropped == 0
+    assert len(seen) == 5
+
+
+def test_append_delivers_to_sinks_too():
+    source = TraceRecorder()
+    source.emit(1.0, "x", "k")
+    record = next(source.records())
+    sinked = TraceRecorder()
+    seen = []
+    sinked.add_sink(seen.append)
+    sinked.append(record)
+    assert seen == [record]
+    assert len(sinked) == 1
+
+
+def test_remove_sink_stops_delivery():
+    recorder = TraceRecorder()
+    seen = []
+    recorder.add_sink(seen.append)
+    recorder.emit(1.0, "x", "k")
+    recorder.remove_sink(seen.append)
+    recorder.emit(2.0, "x", "k")
+    assert len(seen) == 1
+
+
+def test_add_sink_rejects_non_callable():
+    import pytest
+
+    recorder = TraceRecorder()
+    with pytest.raises(TypeError):
+        recorder.add_sink("not callable")

@@ -1,0 +1,27 @@
+"""Seeded monitor-style emit violations (line numbers matter to tests).
+
+Mimics the window-close fan-out in repro.obs.monitor: a watcher that
+re-emits SLO transitions into the trace stream.  Every mistake here is
+one a monitor author could plausibly make.
+"""
+
+from repro.obs import events
+
+SLO_BREACHED = "slo.breached"  # unregistered look-alike kind
+
+
+def window_closed(trace, snapshot, violated):
+    trace.emit(snapshot.end_us, "monitor", "window.close")  # NEON401
+    trace.emit(snapshot.end_us, "monitor", SLO_BREACHED)  # NEON402
+    kind = events.SLO_VIOLATION if violated else events.SLO_RECOVERED
+    trace.emit(snapshot.end_us, "monitor", kind)  # NEON402 (local variable)
+
+
+def good_transition(trace, snapshot, violated):
+    # The registered-constant conditional is the sanctioned idiom.
+    trace.emit(
+        snapshot.end_us,
+        "monitor",
+        events.SLO_VIOLATION if violated else events.SLO_RECOVERED,
+    )
+    trace.emit(snapshot.end_us, "monitor", events.WINDOW_CLOSE)

@@ -55,3 +55,35 @@ def test_registry_constants_cover_all_registered_kinds():
     names = constant_names()
     values = {getattr(events_module, name) for name in names}
     assert values == set(registered_kinds())
+
+
+# ----------------------------------------------------------------------
+# Monitor-style emits (the slo.* / window.* observability kinds)
+# ----------------------------------------------------------------------
+
+def test_bad_monitor_fixture_flags_each_seeded_violation(fixtures):
+    violations = analyze_paths(
+        [events_pkg(fixtures) / "bad_monitor.py"], Config()
+    )
+    assert rule_locations(violations) == [
+        ("NEON401", 14),  # literal "window.close"
+        ("NEON402", 15),  # SLO_BREACHED look-alike not registered
+        ("NEON402", 17),  # kind routed through a local variable
+    ]
+
+
+def test_registered_conditional_monitor_emit_passes(fixtures):
+    # good_transition (the events.SLO_VIOLATION-if-else idiom used by the
+    # real monitor) must be clean: all flagged lines sit in window_closed.
+    violations = analyze_paths(
+        [events_pkg(fixtures) / "bad_monitor.py"], Config()
+    )
+    assert all(violation.line < 19 for violation in violations)
+
+
+def test_monitor_kinds_are_registered():
+    from repro.obs import events as events_module
+
+    kinds = set(registered_kinds())
+    for name in ("WINDOW_CLOSE", "SLO_VIOLATION", "SLO_RECOVERED"):
+        assert getattr(events_module, name) in kinds
