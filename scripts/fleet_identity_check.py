@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""CI gate: a fleet of one is indistinguishable from the plain runner.
+
+Three comparisons, any mismatch exits 1:
+
+1. **Results** — ``build_fleet_env(devices=1)`` + ``run_fleet`` must
+   produce ``WorkloadResult``s that compare equal, field for field, to
+   ``build_env`` + ``run_workloads`` over the same tenant mix and seed
+   (same sim event order, same RNG draws, same metrics snapshots, and
+   no ``fleet_*`` keys leaking in).
+2. **Traces** — with recording on, the two paths must emit identical
+   event streams: same kinds, same times, same payloads, no ``device``
+   tags on the single-device path.
+3. **Rendered bytes** — the canonical JSON encoding of both result sets
+   must be byte-identical, which is what "``repro fleet run --devices
+   1`` output matches the pre-fleet runner" means mechanically.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import itertools  # noqa: E402
+
+import repro.gpu.channel as channel_module  # noqa: E402
+import repro.osmodel.task as task_module  # noqa: E402
+from repro.experiments.parallel import result_to_jsonable  # noqa: E402
+from repro.experiments.runner import build_env, run_workloads  # noqa: E402
+from repro.fleet.registry import build_fleet_env, run_fleet  # noqa: E402
+from repro.fleet.tenants import FleetTenant  # noqa: E402
+from repro.sim.trace import TraceRecorder  # noqa: E402
+
+DURATION_US = 120_000.0
+WARMUP_US = 30_000.0
+SEED = 3
+
+
+def tenant_mix():
+    return [
+        FleetTenant("p0.t000", request_size_us=800.0),
+        FleetTenant("p0.t001", request_size_us=400.0, sleep_ratio=0.25),
+        FleetTenant("p1.t002", request_size_us=1200.0, jitter_sigma=0.2),
+        FleetTenant("p1.t003", request_size_us=2400.0),
+    ]
+
+
+def reset_global_ids():
+    # Channel/task ids draw from process-global counters, so two runs in
+    # one process see different offsets; each comparison leg starts from
+    # the same state, exactly as two fresh CLI invocations would.
+    channel_module._channel_ids = itertools.count(1)
+    task_module._task_ids = itertools.count(1)
+
+
+def run_plain(trace=None):
+    reset_global_ids()
+    env = build_env("dfq", seed=SEED, trace=trace)
+    return run_workloads(env, tenant_mix(), DURATION_US, WARMUP_US)
+
+
+def run_fleet_of_one(trace=None):
+    reset_global_ids()
+    env = build_fleet_env(devices=1, scheduler="dfq", seed=SEED, trace=trace)
+    return run_fleet(env, tenant_mix(), DURATION_US, WARMUP_US)
+
+
+def fail(message: str) -> None:
+    print(f"fleet identity gate FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    plain = run_plain()
+    fleet = run_fleet_of_one()
+
+    if sorted(plain) != sorted(fleet):
+        fail(f"tenant sets differ: {sorted(plain)} vs {sorted(fleet)}")
+    for name in plain:
+        if plain[name] != fleet[name]:
+            fail(f"result for {name!r} differs:\n"
+                 f"  plain: {plain[name]}\n  fleet: {fleet[name]}")
+    for name, result in fleet.items():
+        leaked = [key for key in result.metrics if key.startswith("fleet_")]
+        if leaked:
+            fail(f"fleet_* metrics leaked into single-device run: {leaked}")
+
+    plain_trace, fleet_trace = TraceRecorder(), TraceRecorder()
+    run_plain(trace=plain_trace)
+    run_fleet_of_one(trace=fleet_trace)
+    plain_records = list(plain_trace.records())
+    fleet_records = list(fleet_trace.records())
+    if len(plain_records) != len(fleet_records):
+        fail(f"trace lengths differ: {len(plain_records)} "
+             f"vs {len(fleet_records)}")
+    for index, (a, b) in enumerate(zip(plain_records, fleet_records)):
+        if a != b:
+            fail(f"trace record {index} differs:\n  plain: {a}\n  fleet: {b}")
+        if "device" in b.payload:
+            fail(f"single-device fleet record carries a device tag: {b}")
+
+    encode = lambda results: json.dumps(  # noqa: E731
+        {name: result_to_jsonable(results[name]) for name in sorted(results)},
+        sort_keys=True,
+    ).encode("utf-8")
+    if encode(plain) != encode(fleet):
+        fail("canonical JSON encodings differ")
+
+    print(
+        f"fleet identity gate: {len(fleet)} tenants, "
+        f"{len(fleet_records)} trace records — fleet(1) is byte-identical "
+        "to the plain runner"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

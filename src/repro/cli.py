@@ -184,6 +184,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.experiments.chaos import cli_main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "fleet":
+        # Multi-GPU fleet scenarios (run/chaos/policies/placements); like
+        # chaos, kept out of EXPERIMENTS so ``repro all`` is unchanged.
+        from repro.fleet.cli import main as fleet_main
+
+        return fleet_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, (_, description) in EXPERIMENTS.items():

@@ -45,6 +45,11 @@ class SchedulerBase:
         self.neon: Optional[InterceptionManager] = None
         #: Tasks currently using the device (have live channels).
         self.managed_tasks: list["Task"] = []
+        #: Engagement-boundary hooks (repro.fleet: migration commits,
+        #: global re-weighting).  Each is a generator function taking the
+        #: scheduler; it runs inside the engagement episode, after the
+        #: drain, and may yield simulated time.  Empty list = zero cost.
+        self.boundary_hooks: list = []
 
     # ------------------------------------------------------------------
     # Attachment
@@ -113,6 +118,21 @@ class SchedulerBase:
         self, task: "Task", channel: "Channel", request: "Request"
     ) -> None:
         """An intercepted submission actually reached the device."""
+
+    # ------------------------------------------------------------------
+    # Engagement boundaries
+    # ------------------------------------------------------------------
+    def run_boundary_hooks(self):
+        """Run registered engagement-boundary hooks (a generator).
+
+        Called by the concrete schedulers at the one point per episode /
+        slice where the submission barrier is up and every channel has
+        drained — the only moment fleet migration may commit.  Call
+        sites guard on ``self.boundary_hooks`` so the common case stays
+        byte-identical.
+        """
+        for hook in list(self.boundary_hooks):
+            yield from hook(self)
 
     # ------------------------------------------------------------------
     # Observability

@@ -248,6 +248,11 @@ class DisengagedFairQueueing(SchedulerBase):
         # 2. Drain, with runaway protection.
         yield from self._drain_all()
 
+        # Barrier up and every channel drained: the only moment fleet
+        # migration may commit and global re-weighting may land.
+        if self.boundary_hooks:
+            yield from self.run_boundary_hooks()
+
         # 3. Activity detection for the preceding interval (ring-buffer
         #    scans were just paid for by the drain).
         activity = self._detect_activity()

@@ -59,3 +59,7 @@ class DisengagedTimeslice(TimesliceScheduler):
             yield self.neon.flip_cost(flips)
             yield from self._settle_slice(task)
             self.emit_share_sample(task, self.sim.now - self._slice_started)
+            # Everyone re-engaged and the holder settled: an engagement
+            # boundary (fleet migration / re-weighting hooks).
+            if self.boundary_hooks:
+                yield from self.run_boundary_hooks()

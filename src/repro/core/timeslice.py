@@ -129,6 +129,10 @@ class TimesliceScheduler(SchedulerBase):
             # The slice (plus any drain excess) was the task's exclusive
             # interval; attribute it for the streaming share windows.
             self.emit_share_sample(task, self.sim.now - self._slice_started)
+            # Slice settled and the holder drained: an engagement
+            # boundary (fleet migration / re-weighting hooks).
+            if self.boundary_hooks:
+                yield from self.run_boundary_hooks()
 
     def _settle_slice(self, task: "Task"):
         """End-of-slice: drain the holder, charge overuse, kill runaways.

@@ -24,7 +24,7 @@ class InjectionPointSpec:
     """One registered injection point."""
 
     point: str
-    #: Layer that hosts it: "gpu", "kernel", or "neon".
+    #: Layer that hosts it: "gpu", "kernel", "neon", or "fleet".
     layer: str
     description: str
     #: FaultSpec knobs the site honors ("magnitude_us" and/or "factor").
@@ -41,7 +41,7 @@ def register_injection_point(
     """Register a point; returns the point string (assign it to a constant)."""
     if point in INJECTION_POINTS:
         raise ValueError(f"injection point {point!r} registered twice")
-    if layer not in ("gpu", "kernel", "neon"):
+    if layer not in ("gpu", "kernel", "neon", "fleet"):
         raise ValueError(f"unknown layer {layer!r} for injection point {point!r}")
     INJECTION_POINTS[point] = InjectionPointSpec(point, layer, description, knobs)
     return point
@@ -147,4 +147,14 @@ NEON_DISCOVERY_CORRUPTION = register_injection_point(
     "channel discovery fails at setup; the kernel retries it after "
     "`magnitude_us`, leaving the channel untracked until then",
     ("magnitude_us",),
+)
+
+# ----------------------------------------------------------------------
+# Fleet (repro.fleet.registry)
+# ----------------------------------------------------------------------
+FLEET_DEVICE_LOSS = register_injection_point(
+    "fleet.device_loss", "fleet",
+    "a whole device drops off the fleet: every context on it is torn "
+    "down and its tenants migrate to a survivor or are escalated; "
+    "`target_task` selects the device as 'device<N>'",
 )

@@ -1,0 +1,232 @@
+"""Global fair-share policies: pure math over per-device digests.
+
+This module is deliberately *boundary-constrained*: neonlint applies the
+disengagement-boundary rules (NEON101/102) and the observation-isolation
+rule (NEON503) to it, exactly as to ``repro.core``.  A global policy may
+therefore consume only the interception-observable digests defined here
+— accumulated from ``share_sample`` / ``overuse_charge`` /
+``request_complete`` trace events by :class:`repro.fleet.share.
+GlobalFairShare` — and may never import the GPU or kernel models or
+dereference ground-truth device state.  That is the fleet-level analogue
+of the paper's Section 3 contract: the arbiter sees what interception
+can see, nothing more.
+
+A policy maps one device's digest (plus the fleet-wide view) to a
+``tenant name -> DFQ share weight`` dict, applied by the coordinator at
+that device's next engagement tick.  Weights are normalized to mean 1.0
+per device so a balanced fleet — and any fleet of size 1 — reproduces
+the default uniform-weight DFQ behaviour exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Type
+
+
+@dataclass
+class TenantDigest:
+    """Interception-observable totals for one tenant on one device."""
+
+    tenant: str
+    #: Integrated device time from ``share_sample`` events (µs).
+    usage_us: float = 0.0
+    #: Excess charged past engagement boundaries (``overuse_charge``).
+    overuse_us: float = 0.0
+    #: Retired requests (``request_complete``).
+    completions: int = 0
+    #: Total service time of retired requests (µs).
+    service_us: float = 0.0
+
+    @property
+    def observed_us(self) -> float:
+        """Best usage estimate: integrated shares, else retired service."""
+        return self.usage_us if self.usage_us > 0 else self.service_us
+
+
+@dataclass
+class DeviceDigest:
+    """One device's tenant digests, as the global layer sees them."""
+
+    device_id: int
+    tenants: Dict[str, TenantDigest] = field(default_factory=dict)
+    #: Engagement ticks observed (``freerun_start`` / ``token_pass``).
+    ticks: int = 0
+
+    def tenant(self, name: str) -> TenantDigest:
+        digest = self.tenants.get(name)
+        if digest is None:
+            digest = self.tenants[name] = TenantDigest(name)
+        return digest
+
+
+def normalized(weights: Dict[str, float]) -> Dict[str, float]:
+    """Scale weights to mean exactly 1.0 (the DFQ default).
+
+    Uniform inputs come out as exactly 1.0 per tenant — not merely close
+    — because DFQ lag thresholds are absolute µs, so any uniform weight
+    other than 1.0 would change denial behaviour.
+    """
+    if not weights:
+        return {}
+    total = sum(weights.values())
+    count = len(weights)
+    if total <= 0:
+        return {name: 1.0 for name in weights}
+    values = set(weights.values())
+    if len(values) == 1:
+        return {name: 1.0 for name in weights}
+    scale = count / total
+    return {name: value * scale for name, value in weights.items()}
+
+
+class GlobalPolicy:
+    """Base class: per-device weight assignment from fleet digests."""
+
+    #: Registry key and display name.
+    name = "base"
+
+    def weights(
+        self, local: DeviceDigest, fleet: Sequence[DeviceDigest]
+    ) -> Dict[str, float]:
+        """Return ``tenant -> weight`` for ``local``'s scheduler.
+
+        Called at ``local``'s engagement ticks with the current digests
+        of every fleet device.  Must be deterministic.
+        """
+        raise NotImplementedError
+
+
+#: Name → class map used by the fleet runner and the CLI.
+global_policy_registry: Dict[str, Type[GlobalPolicy]] = {}
+
+
+def register_global_policy(cls: Type[GlobalPolicy]) -> Type[GlobalPolicy]:
+    """Class decorator adding a policy to the registry."""
+    global_policy_registry[cls.name] = cls
+    return cls
+
+
+@register_global_policy
+class FleetFairShare(GlobalPolicy):
+    """Entitlement-proportional fair share (the default).
+
+    Each tenant holds an entitlement (default 1.0); local weights are the
+    entitlements normalized to mean 1.0 per device.  With uniform
+    entitlements every weight is exactly 1.0, so single-device runs and
+    balanced fleets behave byte-identically to plain DFQ.
+    """
+
+    name = "fleet-fair"
+
+    def __init__(self, entitlements: Dict[str, float] = None) -> None:
+        self.entitlements = dict(entitlements or {})
+
+    def weights(
+        self, local: DeviceDigest, fleet: Sequence[DeviceDigest]
+    ) -> Dict[str, float]:
+        raw = {
+            name: self.entitlements.get(name, 1.0)
+            for name in sorted(local.tenants)
+        }
+        return normalized(raw)
+
+
+@register_global_policy
+class ServerArbiter(GlobalPolicy):
+    """Server-based central arbiter (cf. the predictable-GPU-access
+    server design in PAPERS.md).
+
+    Compares each tenant's observed fleet-wide usage against its fair
+    share and steers local weights toward parity: tenants that consumed
+    more than their share are down-weighted, under-served tenants are
+    boosted.  Corrections are clamped and EMA-smoothed so one noisy
+    interval cannot whipsaw the local schedulers.
+    """
+
+    name = "server"
+
+    def __init__(
+        self,
+        smoothing: float = 0.5,
+        floor: float = 0.25,
+        ceiling: float = 4.0,
+    ) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if floor <= 0 or ceiling < floor:
+            raise ValueError("need 0 < floor <= ceiling")
+        self.smoothing = smoothing
+        self.floor = floor
+        self.ceiling = ceiling
+        self._smoothed: Dict[str, float] = {}
+
+    def weights(
+        self, local: DeviceDigest, fleet: Sequence[DeviceDigest]
+    ) -> Dict[str, float]:
+        observed: Dict[str, float] = {}
+        for digest in fleet:
+            for name, tenant in digest.tenants.items():
+                observed[name] = (
+                    observed.get(name, 0.0)
+                    + tenant.observed_us
+                    + tenant.overuse_us
+                )
+        total = sum(observed.values())
+        raw: Dict[str, float] = {}
+        for name in sorted(local.tenants):
+            if total <= 0 or observed.get(name, 0.0) <= 0:
+                target = 1.0
+            else:
+                fair = total / len(observed)
+                target = fair / observed[name]
+                target = min(self.ceiling, max(self.floor, target))
+            previous = self._smoothed.get(name, 1.0)
+            value = previous + self.smoothing * (target - previous)
+            self._smoothed[name] = value
+            raw[name] = value
+        return normalized(raw)
+
+
+@register_global_policy
+class PartitionedShares(GlobalPolicy):
+    """Static partition quotas (cf. the contention-aware partitioning
+    work in PAPERS.md).
+
+    Tenants belong to partitions — the name prefix before the first
+    ``.``, or an explicit ``partition_of`` map — and each partition owns
+    a quota (default 1.0) split evenly among its tenants on the device.
+    Weights are then normalized to mean 1.0 per device, so equal-quota
+    equal-population partitions degenerate to uniform DFQ.
+    """
+
+    name = "partitioned"
+
+    def __init__(
+        self,
+        quotas: Dict[str, float] = None,
+        partition_of: Dict[str, str] = None,
+    ) -> None:
+        self.quotas = dict(quotas or {})
+        self.partition_of = dict(partition_of or {})
+
+    def partition(self, tenant: str) -> str:
+        explicit = self.partition_of.get(tenant)
+        if explicit is not None:
+            return explicit
+        head, _, _ = tenant.partition(".")
+        return head
+
+    def weights(
+        self, local: DeviceDigest, fleet: Sequence[DeviceDigest]
+    ) -> Dict[str, float]:
+        members: Dict[str, int] = {}
+        for name in local.tenants:
+            group = self.partition(name)
+            members[group] = members.get(group, 0) + 1
+        raw: Dict[str, float] = {}
+        for name in sorted(local.tenants):
+            group = self.partition(name)
+            quota = self.quotas.get(group, 1.0)
+            raw[name] = quota / members[group]
+        return normalized(raw)

@@ -1,0 +1,111 @@
+"""The global fair-share coordinator: digests in, weights out.
+
+:class:`GlobalFairShare` subscribes to the fleet's shared trace recorder
+as a live sink and maintains one :class:`~repro.fleet.policies.
+DeviceDigest` per device from the interception-observable stream alone:
+
+* ``share_sample`` — per-tenant usage the local schedulers attribute at
+  engagement boundaries;
+* ``overuse_charge`` — excess charged past slice/episode boundaries;
+* ``request_complete`` — retired-request service time (the fallback
+  basis when no shares have been sampled yet);
+* ``task_exit`` — drops the tenant's digest from the device.
+
+At each device's engagement tick (its ``freerun_start`` emission, i.e.
+the moment its episode settles), the pluggable
+:class:`~repro.fleet.policies.GlobalPolicy` recomputes that device's
+local DFQ ``share_weights``.  Weight changes are traced as
+``fleet.weight_update`` events.  Schedulers without a ``share_weights``
+table (direct, timeslice) are observed but never re-weighted.
+
+The coordinator never touches device or kernel ground truth — it is
+wiring; the decision logic lives in the boundary-checked
+:mod:`repro.fleet.policies`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.fleet.policies import DeviceDigest, GlobalPolicy
+from repro.obs import events
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+
+class GlobalFairShare:
+    """Live trace sink arbitrating cross-device shares."""
+
+    def __init__(self, policy: GlobalPolicy, trace: TraceRecorder) -> None:
+        self.policy = policy
+        self.trace = trace
+        self.digests: Dict[int, DeviceDigest] = {}
+        self._schedulers: Dict[int, object] = {}
+        self._applied: Dict[int, Dict[str, float]] = {}
+        #: Weight recomputations that changed at least one tenant.
+        self.updates = 0
+
+    def watch(self, device_id: int, scheduler) -> None:
+        """Register a device's local scheduler for re-weighting."""
+        self._schedulers[device_id] = scheduler
+        self.digests.setdefault(device_id, DeviceDigest(device_id))
+
+    def digest(self, device_id: int) -> DeviceDigest:
+        digest = self.digests.get(device_id)
+        if digest is None:
+            digest = self.digests[device_id] = DeviceDigest(device_id)
+        return digest
+
+    # -- sink protocol --------------------------------------------------
+    def __call__(self, record: TraceRecord) -> None:
+        kind = record.kind
+        payload = record.payload
+        if kind == events.SHARE_SAMPLE:
+            digest = self.digest(payload.get("device", 0))
+            digest.tenant(payload["task"]).usage_us += payload["usage_us"]
+        elif kind == events.REQUEST_COMPLETE:
+            digest = self.digest(payload.get("device", 0))
+            tenant = digest.tenant(payload["task"])
+            tenant.completions += 1
+            tenant.service_us += payload.get("service_us", 0.0)
+        elif kind == events.OVERUSE_CHARGE:
+            digest = self.digest(payload.get("device", 0))
+            digest.tenant(payload["task"]).overuse_us += payload.get(
+                "excess_us", 0.0
+            )
+        elif kind == events.TASK_EXIT:
+            digest = self.digest(payload.get("device", 0))
+            digest.tenants.pop(payload["task"], None)
+        elif kind == events.FREERUN_START:
+            self._tick(payload.get("device", 0), record.time)
+
+    # -- engagement tick ------------------------------------------------
+    def _tick(self, device_id: int, now: float) -> None:
+        scheduler = self._schedulers.get(device_id)
+        if scheduler is None:
+            return
+        weights = getattr(scheduler, "share_weights", None)
+        if weights is None:
+            return
+        local = self.digest(device_id)
+        local.ticks += 1
+        fleet = [self.digests[d] for d in sorted(self.digests)]
+        assigned = self.policy.weights(local, fleet)
+        changed = {
+            name: value
+            for name, value in sorted(assigned.items())
+            if weights.get(name, 1.0) != value
+        }
+        weights.update(assigned)
+        if not changed:
+            return
+        self.updates += 1
+        self._applied[device_id] = dict(assigned)
+        if self.trace.enabled:
+            self.trace.emit(
+                now, "fleet", events.FLEET_WEIGHT_UPDATE,
+                policy=self.policy.name, weights=changed, device=device_id,
+            )
+
+    def applied(self, device_id: int) -> Optional[Dict[str, float]]:
+        """Last weight table applied to a device (None before any tick)."""
+        return self._applied.get(device_id)

@@ -103,6 +103,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep only this source (repeatable)",
     )
     filter_cmd.add_argument(
+        "--device", action="append", type=int, default=None,
+        help="keep only records on this fleet device (repeatable; "
+        "records without a device tag count as device 0)",
+    )
+    filter_cmd.add_argument(
         "--start-us", type=float, default=None, help="keep records at/after"
     )
     filter_cmd.add_argument(
@@ -286,6 +291,7 @@ def cmd_filter(args: argparse.Namespace) -> int:
     kinds = set(args.kind) if args.kind else None
     tasks = set(args.task) if args.task else None
     sources = set(args.source) if args.source else None
+    devices = set(args.device) if args.device else None
     selected = TraceRecorder()
     for record in trace.records(start_us=args.start_us, end_us=args.end_us):
         if kinds is not None and record.kind not in kinds:
@@ -293,6 +299,8 @@ def cmd_filter(args: argparse.Namespace) -> int:
         if sources is not None and record.source not in sources:
             continue
         if tasks is not None and record.payload.get("task") not in tasks:
+            continue
+        if devices is not None and record.payload.get("device", 0) not in devices:
             continue
         selected.append(record)
     stream, close = _open_output(args.output)

@@ -23,8 +23,9 @@ class EventKindSpec:
 
     kind: str
     #: Layer that emits it: "gpu", "kernel", "neon", "scheduler",
-    #: "faults" (the injection/watchdog subsystem, repro.faults), or
-    #: "obs" (the streaming monitor, repro.obs.windows / repro.obs.slo).
+    #: "faults" (the injection/watchdog subsystem, repro.faults),
+    #: "obs" (the streaming monitor, repro.obs.windows / repro.obs.slo),
+    #: or "fleet" (the multi-device registry, repro.fleet).
     layer: str
     description: str
     #: Payload field names the emit sites provide (documentation +
@@ -42,7 +43,9 @@ def register_event_kind(
     """Register a kind; returns the kind string (assign it to a constant)."""
     if kind in EVENT_KINDS:
         raise ValueError(f"event kind {kind!r} registered twice")
-    if layer not in ("gpu", "kernel", "neon", "scheduler", "faults", "obs"):
+    if layer not in (
+        "gpu", "kernel", "neon", "scheduler", "faults", "obs", "fleet"
+    ):
         raise ValueError(f"unknown layer {layer!r} for event kind {kind!r}")
     EVENT_KINDS[kind] = EventKindSpec(kind, layer, description, payload)
     return kind
@@ -243,4 +246,41 @@ SLO_RECOVERED = register_event_kind(
     "slo.recovered", "obs",
     "a previously violated SLO rule cleared at a window close",
     ("rule", "slo_kind", "task", "window", "violated_windows"),
+)
+
+# ----------------------------------------------------------------------
+# Fleet layer (repro.fleet: multi-device registry, placement, migration,
+# global fair share).  In multi-device runs every event above also
+# carries an optional ``device`` payload field (default 0), injected by
+# the per-device trace view; single-device runs never add it, so their
+# traces are byte-identical with the fleet subsystem merged.
+# ----------------------------------------------------------------------
+FLEET_PLACE = register_event_kind(
+    "fleet.place", "fleet",
+    "the placement policy assigned a tenant to a device",
+    ("task", "policy"),
+)
+FLEET_MIGRATE_BEGIN = register_event_kind(
+    "fleet.migrate_begin", "fleet",
+    "a migration committed at the source device's engagement boundary: "
+    "the tenant is parked, drained, and about to be torn down",
+    ("task", "src", "dst", "reason"),
+)
+FLEET_MIGRATE_END = register_event_kind(
+    "fleet.migrate_end", "fleet",
+    "a migration finished: contexts re-created on the target device and "
+    "the charged migration cost landed on the source",
+    ("task", "src", "dst", "reason", "cost_us"),
+)
+FLEET_DEVICE_LOST = register_event_kind(
+    "fleet.device_lost", "fleet",
+    "a device dropped off the fleet (fleet.device_loss fault): every "
+    "tenant on it must migrate to a survivor or be escalated",
+    ("tenants",),
+)
+FLEET_WEIGHT_UPDATE = register_event_kind(
+    "fleet.weight_update", "fleet",
+    "the global fair-share layer re-weighted a device's local scheduler "
+    "at an engagement tick",
+    ("policy", "weights"),
 )

@@ -50,6 +50,8 @@ KNOWN_COUNTERS: dict[str, str] = {
     "windows_closed": "streaming metric windows closed, by monitor",
     "slo_violations": "SLO rules entering the violated state, by task",
     "slo_recoveries": "SLO rules clearing a violation, by task",
+    "fleet_migrations": "tenant migrations between fleet devices, by task",
+    "fleet_device_losses": "whole devices dropped from the fleet",
 }
 
 #: Catalog of every histogram name, same contract as KNOWN_COUNTERS.

@@ -17,6 +17,19 @@ from repro.obs.overhead import overhead_breakdown
 from repro.sim.trace import TraceRecorder
 
 
+def task_key(payload: dict) -> Optional[str]:
+    """Grouping key for a record's task: ``name``, or ``name@dN`` when
+    the record carries a fleet ``device`` tag.  Single-device traces
+    carry no tag and summarize exactly as before."""
+    task = payload.get("task")
+    if not isinstance(task, str):
+        return None
+    device = payload.get("device")
+    if device is None:
+        return task
+    return f"{task}@d{device}"
+
+
 @dataclass
 class TaskSummary:
     """What one task did, as seen by the trace."""
@@ -106,8 +119,8 @@ def summarize(trace: TraceRecorder, end_us: Optional[float] = None) -> TraceSumm
     def sight_channel(record) -> None:
         """First sighting of a channel starts its engagement accounting."""
         channel_id = record.payload.get("channel")
-        task = record.payload.get("task")
-        if not isinstance(channel_id, int) or not isinstance(task, str):
+        task = task_key(record.payload)
+        if not isinstance(channel_id, int) or task is None:
             return
         if channel_id not in channels:
             channels[channel_id] = _ChannelReplay(
@@ -115,14 +128,14 @@ def summarize(trace: TraceRecorder, end_us: Optional[float] = None) -> TraceSumm
             )
 
     def fault_event(record, detail: str) -> None:
-        task = record.payload.get("task")
+        task = task_key(record.payload)
         timeline.append(
             FaultIncident(record.time, record.kind, task or "", detail)
         )
 
     for record in trace.records():
         payload = record.payload
-        task = payload.get("task")
+        task = task_key(payload)
         sight_channel(record)
         if record.kind == events.FAULT_INJECTED:
             fault_event(record, payload.get("point", ""))
@@ -136,7 +149,7 @@ def summarize(trace: TraceRecorder, end_us: Optional[float] = None) -> TraceSumm
                 f"(timeout {payload.get('timeout_us')} us)",
             )
             continue
-        if not isinstance(task, str):
+        if task is None:
             continue
         if record.kind == events.REQUEST_SUBMIT:
             task_summary(task).submits += 1

@@ -43,6 +43,22 @@ from repro.sim.trace import TraceRecord
 REPORT_QUANTILES = (0.50, 0.95, 0.99)
 
 
+def tenant_key(payload: dict) -> str:
+    """Window/SLO tenant key for a record's payload.
+
+    Single-device runs carry no ``device`` field and key tenants by bare
+    task name — unchanged byte-for-byte.  Fleet runs tag every record
+    with a device id (:class:`~repro.sim.trace.DeviceTraceView`), and the
+    same task name on different devices aggregates separately as
+    ``name@dN`` (a migrated tenant's service is attributed per device).
+    """
+    task = payload["task"]
+    device = payload.get("device")
+    if device is None:
+        return task
+    return f"{task}@d{device}"
+
+
 @dataclass(frozen=True)
 class WindowConfig:
     """Shape of the streaming windows.
@@ -403,7 +419,7 @@ class WindowAggregator:
         kind = record.kind
         payload = record.payload
         if kind == events.REQUEST_COMPLETE:
-            stats = self._tenant(payload["task"])
+            stats = self._tenant(tenant_key(payload))
             stats.completions += 1
             stats.service_us += payload.get("service_us", 0.0)
             latency = payload.get("latency_us")
@@ -414,29 +430,31 @@ class WindowAggregator:
                     )
                 stats.latency.observe(latency)
         elif kind == events.REQUEST_SUBMIT:
-            self._tenant(payload["task"]).submits += 1
+            self._tenant(tenant_key(payload)).submits += 1
         elif kind == events.SHARE_SAMPLE:
-            self._tenant(payload["task"]).share_usage_us += payload["usage_us"]
+            self._tenant(tenant_key(payload)).share_usage_us += payload[
+                "usage_us"
+            ]
         elif kind == events.VT_UPDATE:
-            self._tenant(payload["task"]).vt = payload.get("vt")
+            self._tenant(tenant_key(payload)).vt = payload.get("vt")
         elif kind == events.OVERUSE_CHARGE:
-            self._tenant(payload["task"]).overuse_us += payload.get(
+            self._tenant(tenant_key(payload)).overuse_us += payload.get(
                 "excess_us", 0.0
             )
         elif kind == events.FAULT:
-            self._tenant(payload["task"]).faults += 1
+            self._tenant(tenant_key(payload)).faults += 1
         elif kind == events.DENIAL:
-            self._tenant(payload["task"]).denials += 1
+            self._tenant(tenant_key(payload)).denials += 1
         elif kind == events.FAULT_ESCALATED:
-            self._tenant(payload["task"]).escalations += 1
+            self._tenant(tenant_key(payload)).escalations += 1
         elif kind == events.TASK_KILLED:
-            self._tenant(payload["task"]).kills += 1
+            self._tenant(tenant_key(payload)).kills += 1
         elif kind == events.CHANNEL_ENGAGED:
             self._flip(payload, engaged=True, now=record.time)
         elif kind == events.CHANNEL_DISENGAGED:
             self._flip(payload, engaged=False, now=record.time)
         elif kind == events.TASK_EXIT:
-            self._drop_task(payload["task"], record.time)
+            self._drop_task(tenant_key(payload), record.time)
         # Everything else carries no per-tenant window quantity.
 
     # -- engagement mini-ledger ----------------------------------------
@@ -447,7 +465,7 @@ class WindowAggregator:
         state = self._channels.get(channel_id)
         if state is None:
             self._channels[channel_id] = _ChannelLedger(
-                payload["task"], engaged, now
+                tenant_key(payload), engaged, now
             )
             return
         if state.engaged != engaged:

@@ -104,6 +104,12 @@ class CostParams:
     #: Timeout multiplier applied at each watchdog retry.
     watchdog_backoff: float = 2.0
 
+    #: Charged at the source device's engagement boundary when a tenant
+    #: migrates between fleet devices (repro.fleet.migration): context
+    #: teardown on the source, state copy, and context re-creation on the
+    #: target.  Never reached in single-device runs.
+    migration_cost_us: float = 500.0
+
     #: Per-request syscall cost of the trap-per-request comparison stack of
     #: Section 3 (AMD-Catalyst-style submission).  Calibrated so direct
     #: access gains ~30% for 10 µs requests, matching the paper's 8–35%
@@ -130,6 +136,7 @@ class CostParams:
             self.sample_max_us,
             self.freerun_multiplier,
             self.max_request_us,
+            self.migration_cost_us,
             self.syscall_us,
             self.driver_work_us,
         )

@@ -226,3 +226,49 @@ class NullRecorder(TraceRecorder):
 
     def emit(self, time: float, source: str, kind: str, **payload: Any) -> None:
         return
+
+
+class DeviceTraceView:
+    """A per-device view of a shared recorder (repro.fleet).
+
+    Every record emitted through the view carries a ``device`` payload
+    field identifying the fleet device its stack belongs to; everything
+    else delegates to the underlying recorder.  Single-device runs never
+    construct a view, so their traces carry no ``device`` field and stay
+    byte-identical with the fleet subsystem merged.
+    """
+
+    __slots__ = ("_base", "device_id")
+
+    def __init__(self, base: TraceRecorder, device_id: int) -> None:
+        self._base = base
+        self.device_id = device_id
+
+    @property
+    def enabled(self) -> bool:
+        return self._base.enabled
+
+    @property
+    def base(self) -> TraceRecorder:
+        return self._base
+
+    def emit(self, time: float, source: str, kind: str, **payload: Any) -> None:
+        if "device" not in payload:
+            payload["device"] = self.device_id
+        self._base.emit(time, source, kind, **payload)
+
+    def append(self, record: TraceRecord) -> None:
+        if "device" in record.payload:
+            self._base.append(record)
+            return
+        payload = dict(record.payload)
+        payload["device"] = self.device_id
+        self._base.append(
+            TraceRecord(record.time, record.source, record.kind, payload)
+        )
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._base, name)
+
+    def __len__(self) -> int:
+        return len(self._base)

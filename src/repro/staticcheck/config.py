@@ -58,8 +58,11 @@ DEFAULT_GROUND_TRUTH_ATTRIBUTES = frozenset(
 class Config:
     """Everything the checkers need to know about the project layout."""
 
-    #: Module prefixes the boundary rules apply to.
-    boundary_modules: tuple[str, ...] = ("repro.core",)
+    #: Module prefixes the boundary rules apply to.  The fleet's global
+    #: policy layer lives on the same side of the interception boundary
+    #: as the local schedulers: it may consume only per-device digests
+    #: accumulated from trace events, never GPU/kernel ground truth.
+    boundary_modules: tuple[str, ...] = ("repro.core", "repro.fleet.policies")
     #: Module prefixes boundary modules may not import at runtime.
     internal_import_prefixes: tuple[str, ...] = ("repro.gpu", "repro.osmodel")
     #: Attribute names treated as ground-truth dereferences (NEON102).
@@ -108,8 +111,12 @@ class Config:
         "numpy.random.RandomState",
         "numpy.random.Generator",
     )
-    #: Module prefixes NEON503 applies to (the policy/scheduler layer).
-    observation_client_modules: tuple[str, ...] = ("repro.core",)
+    #: Module prefixes NEON503 applies to (the policy/scheduler layer,
+    #: local and fleet-global alike).
+    observation_client_modules: tuple[str, ...] = (
+        "repro.core",
+        "repro.fleet.policies",
+    )
     #: The declarative interception-observable surface: the only
     #: attributes observation clients may touch on the interception
     #: manager (receivers named ``neon``).  This is the enforcement hook

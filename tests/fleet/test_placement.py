@@ -1,0 +1,118 @@
+"""Placement determinism: pure functions of name and occupancy."""
+
+import random
+
+import pytest
+
+from repro.fleet.placement import (
+    HashShard,
+    LeastLoaded,
+    PartitionAffinity,
+    PlacementPolicy,
+    partition_of,
+    placement_registry,
+    stable_hash,
+)
+
+
+def test_stable_hash_is_pinned_across_processes():
+    # sha256-based, never Python's salted hash(): these exact values must
+    # hold on every machine, interpreter, and PYTHONHASHSEED.
+    assert stable_hash("p0.t000") == stable_hash("p0.t000")
+    assert stable_hash("a") != stable_hash("b")
+    assert stable_hash("a") == 0xCA978112CA1BBDCA
+    assert stable_hash("p0") == 0x169B5B823C62B64C
+
+
+def test_partition_of_prefers_explicit_map_then_name_prefix():
+    assert partition_of("p3.t007") == "p3"
+    assert partition_of("solo") == "solo"
+    assert partition_of("p3.t007", {"p3.t007": "gold"}) == "gold"
+    assert partition_of("p3.t007", {"other": "gold"}) == "p3"
+
+
+def test_registry_names():
+    assert set(placement_registry) == {
+        "least-loaded", "hash-shard", "partition-affinity"
+    }
+    for name, cls in placement_registry.items():
+        assert cls.name == name
+        assert issubclass(cls, PlacementPolicy)
+
+
+def test_least_loaded_fills_devices_evenly_ties_to_lowest_id():
+    policy = LeastLoaded()
+    policy.bind([0, 1, 2])
+    picks = []
+    for index in range(6):
+        device = policy.assign(f"t{index}")
+        policy.placed(device)
+        picks.append(device)
+    assert picks == [0, 1, 2, 0, 1, 2]
+
+
+def test_least_loaded_respects_departures():
+    policy = LeastLoaded()
+    policy.bind([0, 1])
+    for _ in range(2):
+        policy.placed(policy.assign("x"))
+    policy.departed(0)
+    assert policy.assign("y") == 0
+
+
+def test_hash_shard_same_mapping_across_instances_and_orders():
+    names = [f"p{i % 3}.t{i:03d}" for i in range(24)]
+    first = HashShard()
+    first.bind([0, 1, 2, 3])
+    reference = {name: first.assign(name) for name in names}
+
+    shuffled = list(names)
+    random.Random(7).shuffle(shuffled)
+    second = HashShard()
+    second.bind([0, 1, 2, 3])
+    for name in shuffled:
+        assert second.assign(name) == reference[name]
+    assert set(reference.values()) == {0, 1, 2, 3}  # actually shards
+
+
+def test_hash_shard_exclusion_restricts_to_survivors():
+    policy = HashShard()
+    policy.bind([0, 1, 2])
+    for index in range(12):
+        assert policy.assign(f"t{index}", exclude=[1]) in (0, 2)
+
+
+def test_partition_affinity_keeps_partitions_co_resident():
+    policy = PartitionAffinity()
+    policy.bind([0, 1, 2])
+    homes = {}
+    for index in range(12):
+        name = f"p{index % 4}.t{index:03d}"
+        group = name.partition(".")[0]
+        device = policy.assign(name)
+        homes.setdefault(group, device)
+        assert device == homes[group]
+
+
+def test_partition_affinity_rehomes_deterministically_on_loss():
+    policy = PartitionAffinity()
+    policy.bind([0, 1, 2])
+    home = policy.assign("p0.t000")
+    rehomed = policy.assign("p0.t001", exclude=[home])
+    assert rehomed != home
+    # Every member of the partition follows to the same refuge.
+    assert policy.assign("p0.t002", exclude=[home]) == rehomed
+
+
+def test_partition_affinity_explicit_map():
+    policy = PartitionAffinity(partition_map={"stray": "p1"})
+    policy.bind([0, 1, 2, 3])
+    assert policy.assign("stray") == policy.assign("p1.t000")
+
+
+@pytest.mark.parametrize("name", sorted(placement_registry))
+def test_no_live_device_raises(name):
+    policy = placement_registry[name]()
+    policy.bind([0])
+    with pytest.raises(ValueError, match="no live device"):
+        policy.assign("t0", exclude=[0])

@@ -1,0 +1,137 @@
+"""Global policy math: digests in, normalized share weights out."""
+
+import pytest
+
+from repro.fleet.policies import (
+    DeviceDigest,
+    FleetFairShare,
+    PartitionedShares,
+    ServerArbiter,
+    TenantDigest,
+    global_policy_registry,
+    normalized,
+)
+
+
+def digest(device_id, **usage_by_tenant):
+    result = DeviceDigest(device_id)
+    for name, usage_us in usage_by_tenant.items():
+        result.tenant(name).usage_us = usage_us
+    return result
+
+
+def test_registry_names():
+    assert set(global_policy_registry) == {
+        "fleet-fair", "server", "partitioned"
+    }
+    for name, cls in global_policy_registry.items():
+        assert cls.name == name
+
+
+def test_normalized_uniform_is_exactly_one():
+    # Exactly 1.0 — not merely close — because DFQ lag thresholds are
+    # absolute µs, so uniform-but-not-1.0 weights would change denials.
+    for value in (0.25, 1.0, 3.0):
+        weights = normalized({"a": value, "b": value, "c": value})
+        assert weights == {"a": 1.0, "b": 1.0, "c": 1.0}
+
+
+def test_normalized_preserves_ratios_with_mean_one():
+    weights = normalized({"a": 1.0, "b": 3.0})
+    assert weights["b"] / weights["a"] == pytest.approx(3.0)
+    assert sum(weights.values()) / len(weights) == pytest.approx(1.0)
+
+
+def test_normalized_degenerate_inputs():
+    assert normalized({}) == {}
+    assert normalized({"a": 0.0, "b": 0.0}) == {"a": 1.0, "b": 1.0}
+
+
+def test_fleet_fair_uniform_entitlements_are_identity():
+    policy = FleetFairShare()
+    local = digest(0, alpha=100.0, beta=900.0)
+    assert policy.weights(local, [local]) == {"alpha": 1.0, "beta": 1.0}
+
+
+def test_fleet_fair_entitlements_scale_proportionally():
+    policy = FleetFairShare(entitlements={"gold": 3.0})
+    local = digest(0, gold=0.0, bronze=0.0)
+    weights = policy.weights(local, [local])
+    assert weights["gold"] / weights["bronze"] == pytest.approx(3.0)
+    assert sum(weights.values()) / 2 == pytest.approx(1.0)
+
+
+def test_server_arbiter_steers_toward_parity():
+    policy = ServerArbiter(smoothing=1.0)
+    local = digest(0, hog=9000.0, meek=1000.0)
+    weights = policy.weights(local, [local])
+    assert weights["hog"] < 1.0 < weights["meek"]
+
+
+def test_server_arbiter_aggregates_fleet_wide_usage():
+    # The hog looks balanced locally; only the fleet view exposes it.
+    policy = ServerArbiter(smoothing=1.0)
+    local = digest(0, hog=1000.0, meek=1000.0)
+    remote = digest(1, hog=8000.0)
+    weights = policy.weights(local, [local, remote])
+    assert weights["hog"] < weights["meek"]
+
+
+def test_server_arbiter_clamps_corrections():
+    policy = ServerArbiter(smoothing=1.0, floor=0.5, ceiling=2.0)
+    local = digest(0, hog=1_000_000.0, meek=1.0)
+    weights = policy.weights(local, [local])
+    # Raw targets are astronomically far apart; clamping caps the raw
+    # ratio at ceiling/floor before normalization.
+    assert weights["meek"] / weights["hog"] == pytest.approx(4.0)
+
+
+def test_server_arbiter_smoothing_moves_halfway():
+    policy = ServerArbiter(smoothing=0.5, floor=0.25, ceiling=4.0)
+    local = digest(0, hog=3000.0, meek=1000.0)
+    first = policy.weights(local, [local])
+    second = policy.weights(local, [local])
+    # Same evidence again: weights keep easing toward the same target.
+    assert second["hog"] < first["hog"]
+    assert second["meek"] > first["meek"]
+
+
+def test_server_arbiter_validates_parameters():
+    with pytest.raises(ValueError):
+        ServerArbiter(smoothing=0.0)
+    with pytest.raises(ValueError):
+        ServerArbiter(floor=0.0)
+    with pytest.raises(ValueError):
+        ServerArbiter(floor=2.0, ceiling=1.0)
+
+
+def test_partitioned_equal_quotas_equal_population_is_identity():
+    policy = PartitionedShares()
+    local = digest(0, **{"p0.t0": 50.0, "p0.t1": 10.0,
+                         "p1.t0": 70.0, "p1.t1": 20.0})
+    weights = policy.weights(local, [local])
+    assert weights == {name: 1.0 for name in local.tenants}
+
+
+def test_partitioned_quota_splits_among_members():
+    policy = PartitionedShares(quotas={"gold": 3.0, "bulk": 1.0})
+    local = digest(0, **{"gold.a": 0.0, "bulk.a": 0.0, "bulk.b": 0.0})
+    weights = policy.weights(local, [local])
+    # gold.a holds 3.0, each bulk tenant 0.5 — a 6x ratio, normalized.
+    assert weights["gold.a"] / weights["bulk.a"] == pytest.approx(6.0)
+    assert weights["bulk.a"] == weights["bulk.b"]
+
+
+def test_partitioned_explicit_partition_map():
+    policy = PartitionedShares(
+        quotas={"gold": 2.0}, partition_of={"stray": "gold"}
+    )
+    assert policy.partition("stray") == "gold"
+    assert policy.partition("p7.t001") == "p7"
+
+
+def test_tenant_digest_observed_falls_back_to_service():
+    tenant = TenantDigest("t", usage_us=0.0, service_us=123.0)
+    assert tenant.observed_us == 123.0
+    tenant.usage_us = 50.0
+    assert tenant.observed_us == 50.0

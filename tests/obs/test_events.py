@@ -10,7 +10,7 @@ def test_every_spec_is_self_consistent():
     for kind, spec in events.EVENT_KINDS.items():
         assert spec.kind == kind
         assert spec.layer in (
-            "gpu", "kernel", "neon", "scheduler", "faults", "obs"
+            "gpu", "kernel", "neon", "scheduler", "faults", "obs", "fleet"
         )
         assert spec.description
         assert all(isinstance(field, str) for field in spec.payload)

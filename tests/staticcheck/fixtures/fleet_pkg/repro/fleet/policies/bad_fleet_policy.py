@@ -1,0 +1,29 @@
+"""Fixture: a global fleet policy cheating past the per-device digests.
+
+Seeded violations (never imported): the fleet policy layer sits on the
+scheduler side of the interception boundary, so every rule that fences
+``repro.core`` off from GPU ground truth must bind here too.
+"""
+
+from repro.gpu import device
+import repro.gpu.device
+
+
+class FleetPeek:
+    """Observation client straying off the declared ``neon.*`` API."""
+
+    def __init__(self, neon):
+        self.neon = neon
+
+    def snoop(self):
+        for channel in self.neon.live_channels():
+            self.neon.mask_channel(channel)
+        return self.neon.raw_channel_table
+
+
+def rebalance(stacks):
+    weights = {}
+    for stack in stacks:
+        for task, used in stack.device.task_usage.items():
+            weights[task] = used / len(stack.device.engines)
+    return weights, device.read_queue()

@@ -1,0 +1,8 @@
+"""Fixture: a digest-only global policy — the sanctioned shape."""
+
+
+def rebalance(digests):
+    total = sum(digest.usage_us for digest in digests) or 1.0
+    return {
+        digest.device_id: digest.usage_us / total for digest in digests
+    }

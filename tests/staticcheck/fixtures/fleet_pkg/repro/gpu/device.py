@@ -1,0 +1,5 @@
+"""Fixture: device-internal ground truth no fleet policy may reach."""
+
+
+def read_queue():
+    return ["ground", "truth"]
