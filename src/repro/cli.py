@@ -7,7 +7,9 @@ runs the neonlint static analyzer (see docs/STATIC_ANALYSIS.md).
 structured traces; ``repro perf`` records, tabulates, diffs, and gates
 cross-run performance records; ``repro monitor`` runs any experiment
 with streaming windowed metrics and SLO monitors over the live trace
-stream (see docs/OBSERVABILITY.md).
+stream (see docs/OBSERVABILITY.md); ``repro why`` attributes tail
+latency (or a fired SLO) to its dominant delay component and the
+interfering tenants via reconstructed lifecycle spans.
 
 Cell-farm experiments (the figure drivers) accept ``--workers N`` to fan
 independent simulation cells out over a process pool, and share a
@@ -184,6 +186,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.experiments.chaos import cli_main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "why":
+        # Root-cause attribution from reconstructed lifecycle spans:
+        # ``repro why`` (tail latency) and ``repro why compare`` (runs).
+        from repro.obs.why import main as why_main
+
+        return why_main(argv[1:])
     if argv and argv[0] == "fleet":
         # Multi-GPU fleet scenarios (run/chaos/policies/placements); like
         # chaos, kept out of EXPERIMENTS so ``repro all`` is unchanged.

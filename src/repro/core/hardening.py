@@ -224,7 +224,8 @@ class DrainWatchdog:
             trace = self.kernel.trace
             if trace.enabled:
                 trace.emit(self.sim.now, self._source, events.WATCHDOG_RETRY,
-                           attempt=attempt, timeout_us=timeout)
+                           attempt=attempt, timeout_us=timeout,
+                           tasks=[task.name for task in tasks])
             live = [channel for channel in channels if not channel.dead]
             result = yield from self._drain_once(live, timeout, charge_wait)
             if result.drained:

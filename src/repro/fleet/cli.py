@@ -152,6 +152,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-window lines (summary only)",
     )
+    run.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="export the monitored trace stream (device-tagged records "
+        "across all seeds) as JSONL for 'repro why' / span analysis; "
+        "implies the monitor rig",
+    )
 
     chaos = sub.add_parser(
         "chaos", help="device-loss matrix across placement policies"
@@ -214,12 +220,13 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     session = None
     stack = None
-    if args.window_us is not None:
+    if args.window_us is not None or args.trace_out is not None:
         from contextlib import ExitStack
 
-        from repro.obs.monitor import MonitorSession, monitoring
+        from repro.obs.monitor import DEFAULT_WINDOW_US, MonitorSession, monitoring
         from repro.obs.slo import SloRule
         from repro.obs.windows import WindowConfig
+        from repro.sim.trace import TraceRecorder
 
         rules = ()
         if args.slo_jain_floor is not None:
@@ -230,10 +237,19 @@ def cmd_run(args: argparse.Namespace) -> int:
                 ),
             )
         session = MonitorSession(
-            WindowConfig(window_us=args.window_us),
+            WindowConfig(
+                window_us=(
+                    args.window_us if args.window_us is not None
+                    else DEFAULT_WINDOW_US
+                )
+            ),
             rules,
             line_sink=lambda line: print(line, file=sys.stderr),
-            render_windows=not args.quiet,
+            # --trace-out alone taps the stream without window chatter.
+            render_windows=not args.quiet and args.window_us is not None,
+            record_stream=(
+                TraceRecorder() if args.trace_out is not None else None
+            ),
         )
         stack = ExitStack()
         stack.enter_context(monitoring(session))
@@ -252,6 +268,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     finally:
         if stack is not None:
             stack.close()
+
+    if args.trace_out is not None and session is not None:
+        from repro.obs.export import save_trace
+
+        count = save_trace(session.record_stream, args.trace_out)
+        print(
+            f"fleet run: {count} trace records written to {args.trace_out}",
+            file=sys.stderr,
+        )
 
     print(
         f"fleet run: {args.devices} device(s), {args.tenants} tenant(s), "

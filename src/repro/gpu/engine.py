@@ -285,6 +285,12 @@ class ExecutionEngine:
                 self._timer = sim.schedule(
                     request.remaining_us, outcome.trigger, FINISHED
                 )
+            if self.device.trace.enabled:
+                self.device.trace.emit(
+                    segment_start, f"gpu.{self.name}", events.EXEC_BEGIN,
+                    task=channel.task.name, channel=channel.channel_id,
+                    ref=request.ref,
+                )
             tag = yield outcome
             self._outcome = None
             self._timer = None

@@ -84,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", nargs="?", default=None,
         help="JSONL trace file; omit to record one inline",
     )
+    summary.add_argument(
+        "--json", action="store_true",
+        help="machine-readable JSON instead of the table rendering "
+        "(same summary model; 'repro why' consumes this)",
+    )
     add_run_options(summary)
 
     filter_cmd = sub.add_parser(
@@ -128,6 +133,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero when the trace lost records to ring-buffer "
         "eviction (the export is still written)",
     )
+    export.add_argument(
+        "--spans", action="store_true",
+        help="chrome format: also emit reconstructed lifecycle spans as "
+        "Perfetto async ('b'/'e') events (repro.obs.spans)",
+    )
     export.add_argument("-o", "--output", default=None)
 
     diff = sub.add_parser(
@@ -161,8 +171,12 @@ def record_trace(
     counts: dict[str, int] = {}
     workloads = []
     for name in apps:
-        instance = counts.get(name)
-        counts[name] = (instance or 0) + 1
+        seen = counts.get(name, 0)
+        counts[name] = seen + 1
+        # Repeats of an app get distinct task labels, matching the
+        # monitor's convention (glxgears, then glxgears.2, ...); the
+        # first keeps the plain name so unique-app traces are unchanged.
+        instance = None if seen == 0 else f"{name}.{seen + 1}"
         workloads.append(make_app(name, instance=instance))
     run_workloads(env, workloads, duration_us=duration_us)
     return trace, env.sim.now
@@ -230,6 +244,11 @@ def cmd_record(args: argparse.Namespace) -> int:
 def cmd_summary(args: argparse.Namespace) -> int:
     trace, end_us = _obtain_trace(args)
     summary = summarize(trace, end_us=end_us)
+    if args.json:
+        import json
+
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+        return 0
     first, last = summary.span_us
     print(
         f"trace: {summary.records} records"
@@ -319,7 +338,7 @@ def cmd_export(args: argparse.Namespace) -> int:
     stream, close = _open_output(args.output)
     try:
         if args.format == "chrome":
-            count = write_chrome_trace(trace, stream)
+            count = write_chrome_trace(trace, stream, spans=args.spans)
         else:
             count = write_jsonl(trace, stream)
     finally:

@@ -101,6 +101,13 @@ CONTEXT_KILLED = register_event_kind(
     "a device context was torn down by the driver's exit protocol",
     ("task",),
 )
+EXEC_BEGIN = register_event_kind(
+    "exec.begin", "gpu",
+    "the engine started (or resumed) executing a request segment; the "
+    "matching terminal is request_complete/request_aborted/"
+    "request_preempted (a registered span pair, repro.obs.spans)",
+    ("task", "channel", "ref"),
+)
 
 # ----------------------------------------------------------------------
 # Kernel layer (repro.osmodel.kernel)
@@ -119,6 +126,18 @@ TASK_KILLED = register_event_kind(
     "task_killed", "kernel",
     "the kernel killed a task (runaway protection, §3.1)",
     ("task", "reason"),
+)
+SCHED_WAIT_BEGIN = register_event_kind(
+    "sched.wait_begin", "kernel",
+    "the fault handler blocked a faulting task on the scheduler's "
+    "verdict (disengaged denial wait, fair-queue token wait)",
+    ("task", "channel"),
+)
+SCHED_WAIT_END = register_event_kind(
+    "sched.wait_end", "kernel",
+    "the scheduler released a blocked task; the handler resumes the "
+    "single-stepped store",
+    ("task", "channel", "waited_us"),
 )
 
 # ----------------------------------------------------------------------
@@ -215,8 +234,9 @@ FAULT_DETECTED = register_event_kind(
 )
 WATCHDOG_RETRY = register_event_kind(
     "watchdog_retry", "faults",
-    "the watchdog re-drained with a backed-off timeout before acting",
-    ("attempt", "timeout_us"),
+    "the watchdog re-drained with a backed-off timeout before acting; "
+    "tasks lists the suspects so stall windows attribute per tenant",
+    ("attempt", "timeout_us", "tasks"),
 )
 FAULT_RECOVERED = register_event_kind(
     "fault_recovered", "faults",
@@ -230,7 +250,12 @@ FAULT_ESCALATED = register_event_kind(
 )
 
 # ----------------------------------------------------------------------
-# Streaming-observability layer (repro.obs.windows / repro.obs.slo)
+# Streaming-observability layer (repro.obs.windows / repro.obs.slo).
+# In fleet runs the monitor stamps an explicit ``device`` payload field
+# onto slo.violation/slo.recovered (parsed from the ``name@dN`` tenant
+# key) and a ``devices`` list onto window.close, so span/window joins
+# never infer devices positionally.  Single-device runs carry neither
+# field — their traces stay byte-identical.
 # ----------------------------------------------------------------------
 WINDOW_CLOSE = register_event_kind(
     "window.close", "obs",

@@ -111,7 +111,7 @@ def _record_task(record: TraceRecord) -> Optional[str]:
     return task if isinstance(task, str) else None
 
 
-def chrome_trace_events(trace: TraceRecorder) -> list[dict]:
+def chrome_trace_events(trace: TraceRecorder, spans: bool = False) -> list[dict]:
     """Render records into a Chrome trace-event list.
 
     * every record becomes an instant ("i") event on its task's row
@@ -182,6 +182,9 @@ def chrome_trace_events(trace: TraceRecorder) -> list[dict]:
             })
             episode_begin = None
 
+    if spans:
+        out.extend(_async_span_events(trace, tids))
+
     metadata = [
         {"name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
          "args": {"name": "repro simulation"}},
@@ -198,14 +201,68 @@ def chrome_trace_events(trace: TraceRecorder) -> list[dict]:
     return metadata + out
 
 
-def write_chrome_trace(trace: TraceRecorder, stream: IO[str]) -> int:
+def _async_span_events(trace: TraceRecorder, tids: dict[str, int]) -> list[dict]:
+    """Reconstructed lifecycle spans as Perfetto async ("b"/"e") events.
+
+    Each request span becomes one async pair on its task's row, with its
+    labeled segments nested under the same id so the decomposition reads
+    directly off the timeline.  System spans (engagement barriers,
+    sampling windows, migrations) land on the scheduler row.
+    """
+    from repro.obs.spans import build_spans
+
+    span_set = build_spans(trace)
+    out: list[dict] = []
+    for span in span_set.spans:
+        tid = tids.get(span.task, _TID_SYSTEM)
+        common = {"cat": "span", "id": span.span_id, "pid": _PID, "tid": tid}
+        name = f"request {span.ref if span.ref is not None else '?'}"
+        out.append({
+            "name": name, "ph": "b", "ts": span.start_us, **common,
+            "args": {
+                "task": span.task,
+                "device": span.device,
+                "terminal": span.terminal,
+                "components": span.components,
+            },
+        })
+        for segment in span.segments:
+            out.append({
+                "name": segment.label, "ph": "b", "ts": segment.start_us,
+                **common, "args": {},
+            })
+            out.append({
+                "name": segment.label, "ph": "e", "ts": segment.end_us,
+                **common,
+            })
+        out.append({"name": name, "ph": "e", "ts": span.end_us, **common})
+    for index, system in enumerate(span_set.system_spans):
+        common = {
+            "cat": "span", "id": 1_000_000 + index,
+            "pid": _PID, "tid": _TID_SCHEDULER,
+        }
+        out.append({
+            "name": system.pair, "ph": "b", "ts": system.start_us,
+            **common, "args": system.payload,
+        })
+        out.append({
+            "name": system.pair, "ph": "e", "ts": system.end_us, **common,
+        })
+    return out
+
+
+def write_chrome_trace(
+    trace: TraceRecorder, stream: IO[str], spans: bool = False
+) -> int:
     """Write the Perfetto-loadable JSON object; returns event count.
 
     The top-level ``metadata`` object carries the recorder's eviction
     counter, so a viewer (or a strict exporter) can tell a complete
-    timeline from one whose head fell out of the ring buffer.
+    timeline from one whose head fell out of the ring buffer.  With
+    ``spans`` true, reconstructed lifecycle spans ride along as async
+    events (:mod:`repro.obs.spans`).
     """
-    trace_events = chrome_trace_events(trace)
+    trace_events = chrome_trace_events(trace, spans=spans)
     json.dump(
         {
             "traceEvents": trace_events,

@@ -49,6 +49,20 @@ from repro.sim.trace import TraceRecorder
 DEFAULT_WINDOW_US = 5_000.0
 
 
+def _tenant_device(tenant: Optional[str]) -> Optional[int]:
+    """Device id from a fleet tenant key (``name@dN``), else None.
+
+    Single-device runs never produce suffixed keys, so their monitor
+    events carry no device field and stay byte-identical.
+    """
+    if not tenant:
+        return None
+    _name, sep, suffix = tenant.rpartition("@d")
+    if sep and suffix.isdigit():
+        return int(suffix)
+    return None
+
+
 class Monitor:
     """One run's monitoring rig; see the module docstring."""
 
@@ -80,6 +94,12 @@ class Monitor:
     def _window_closed(self, snapshot: WindowSnapshot) -> None:
         self.metrics.inc("windows_closed")
         trace = self.trace
+        devices = sorted({
+            device
+            for tenant in snapshot.tenants
+            if (device := _tenant_device(tenant)) is not None
+        })
+        window_extra: dict[str, Any] = {"devices": devices} if devices else {}
         trace.emit(
             snapshot.end_us, "monitor", events.WINDOW_CLOSE,
             window=snapshot.index,
@@ -87,6 +107,7 @@ class Monitor:
             end_us=snapshot.end_us,
             tenants=len(snapshot.tenants),
             jain=None if math.isnan(snapshot.jain) else snapshot.jain,
+            **window_extra,
         )
         transitions = self.engine.observe(snapshot)
         for event in transitions:
@@ -96,6 +117,10 @@ class Monitor:
                 "slo_violations" if violated else "slo_recoveries",
                 event.task,
             )
+            device = _tenant_device(event.task)
+            slo_extra: dict[str, Any] = (
+                {"device": device} if device is not None else {}
+            )
             trace.emit(
                 snapshot.end_us, "monitor",
                 events.SLO_VIOLATION if violated else events.SLO_RECOVERED,
@@ -103,6 +128,7 @@ class Monitor:
                 window=event.window, value=event.value,
                 threshold=event.threshold,
                 violated_windows=event.violated_windows,
+                **slo_extra,
             )
         if self.line_sink is not None:
             if self.render_windows:
@@ -198,12 +224,17 @@ class MonitorSession:
         line_sink: Optional[Callable[[str], None]] = None,
         render_windows: bool = True,
         keep_snapshots: Optional[int] = None,
+        record_stream: Optional[TraceRecorder] = None,
     ) -> None:
         self.window = window
         self.rules = tuple(rules)
         self.line_sink = line_sink
         self.render_windows = render_windows
         self.keep_snapshots = keep_snapshots
+        #: Optional retaining tee of every monitored run's full stream
+        #: (simulation records plus monitor-emitted window/SLO events),
+        #: exported by ``--trace-out`` for offline span reconstruction.
+        self.record_stream = record_stream
         self.monitors: list[Monitor] = []
         self.reused: list[dict[str, str]] = []
         # Label the cell farm announces for the next run (one-shot).
@@ -227,6 +258,8 @@ class MonitorSession:
             render_windows=self.render_windows,
             keep_snapshots=self.keep_snapshots,
         )
+        if self.record_stream is not None:
+            monitor.trace.add_sink(self.record_stream.append)
         self.monitors.append(monitor)
         return monitor
 
@@ -378,6 +411,12 @@ def build_parser() -> argparse.ArgumentParser:
         "through it",
     )
     output.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="export the monitored trace stream (all runs, including the "
+        "monitor's own window/SLO records) as JSONL; feed it to "
+        "'repro why FILE --report ...' for root-cause attribution",
+    )
+    output.add_argument(
         "--keep-windows", type=int, default=None, metavar="N",
         help="retain at most N window snapshots per run in memory and in "
         "the report (default: all)",
@@ -466,12 +505,17 @@ def session_from_args(args: argparse.Namespace) -> MonitorSession:
         slide_us=args.slide_us,
         latency_bin_us=args.latency_bin_us,
     )
+    record_stream = (
+        TraceRecorder() if getattr(args, "trace_out", None) is not None
+        else None
+    )
     return MonitorSession(
         window,
         rules_from_args(args),
         line_sink=_line_sink,
         render_windows=not args.quiet,
         keep_snapshots=args.keep_windows,
+        record_stream=record_stream,
     )
 
 
@@ -626,6 +670,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             json.dumps(session.report(), indent=2, sort_keys=True) + "\n"
         )
         print(f"monitor: report written to {args.report}", file=sys.stderr)
+    if args.trace_out is not None and session.record_stream is not None:
+        from repro.obs.export import save_trace
+
+        count = save_trace(session.record_stream, args.trace_out)
+        print(
+            f"monitor: {count} trace records written to {args.trace_out}",
+            file=sys.stderr,
+        )
     if args.store and collector is not None:
         from repro.obs.profile import host_clock
         from repro.obs.store import RunStore, build_record

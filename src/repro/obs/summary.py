@@ -58,6 +58,28 @@ class TaskSummary:
             return None
         return self.latency_sum_us / self.latency_count
 
+    def to_dict(self) -> dict:
+        return {
+            "task": self.task,
+            "submits": self.submits,
+            "completes": self.completes,
+            "aborts": self.aborts,
+            "faults": self.faults,
+            "denials": self.denials,
+            "samples": self.samples,
+            "engaged_us": self.engaged_us,
+            "disengaged_us": self.disengaged_us,
+            "killed": self.killed,
+            "exited": self.exited,
+            "latency_sum_us": self.latency_sum_us,
+            "latency_count": self.latency_count,
+            "mean_latency_us": self.mean_latency_us,
+            "faults_injected": self.faults_injected,
+            "fault_detections": self.fault_detections,
+            "fault_recoveries": self.fault_recoveries,
+            "fault_escalations": self.fault_escalations,
+        }
+
 
 @dataclass(frozen=True)
 class FaultIncident:
@@ -67,6 +89,14 @@ class FaultIncident:
     kind: str
     task: str
     detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "time_us": self.time_us,
+            "kind": self.kind,
+            "task": self.task,
+            "detail": self.detail,
+        }
 
 
 @dataclass
@@ -81,6 +111,23 @@ class TraceSummary:
     breakdown: dict[str, float] = field(default_factory=dict)
     #: Injection and watchdog events in trace order; empty without faults.
     fault_timeline: list[FaultIncident] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-able form (``repro trace summary --json``); consumed by
+        ``repro why`` for its run overview."""
+        return {
+            "span_us": [self.span_us[0], self.span_us[1]],
+            "records": self.records,
+            "dropped": self.dropped,
+            "kind_counts": dict(self.kind_counts),
+            "tasks": {
+                name: task.to_dict() for name, task in self.tasks.items()
+            },
+            "breakdown": dict(self.breakdown),
+            "fault_timeline": [
+                incident.to_dict() for incident in self.fault_timeline
+            ],
+        }
 
 
 @dataclass

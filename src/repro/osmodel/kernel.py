@@ -317,14 +317,30 @@ class Kernel:
             yield from self.cpu_time(
                 self.costs.trap_us + self.costs.fault_handle_us, task.name
             )
+            wait_begin: Optional[float] = None
             while True:
                 verdict = self.scheduler.on_fault(task, channel, request)
                 if verdict is None:
                     break
+                if wait_begin is None:
+                    # Lazy: zero-wait faults (scheduler admits immediately)
+                    # produce no wait span at all.
+                    wait_begin = self.sim.now
+                    if self.trace.enabled:
+                        self.trace.emit(
+                            wait_begin, "kernel", events.SCHED_WAIT_BEGIN,
+                            task=task.name, channel=channel.channel_id,
+                        )
                 task.state = TaskState.BLOCKED
                 yield verdict
                 task.state = TaskState.RUNNING
                 yield from self.cpu_time(self.costs.unblock_us, task.name)
+            if wait_begin is not None and self.trace.enabled:
+                self.trace.emit(
+                    self.sim.now, "kernel", events.SCHED_WAIT_END,
+                    task=task.name, channel=channel.channel_id,
+                    waited_us=self.sim.now - wait_begin,
+                )
             yield from self.cpu_time(self.costs.singlestep_us, task.name)
         if channel.dead or not task.alive:
             # Our context was torn down while we were blocked; the pending

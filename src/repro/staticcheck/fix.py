@@ -11,6 +11,10 @@ stay human-only.
 * **NEON403** — same for injection points: the literal becomes
   ``fault_points.<CONST>`` with ``from repro.faults import registry as
   fault_points``.
+* **NEON406** — a string-literal span-boundary kind whose value matches
+  a registered span-pair kind gets the same ``events.<CONST>`` rewrite
+  as NEON401; when both rules fire on one literal the edit is applied
+  once.
 * **NEON505** — the unused alias is removed from its import statement;
   the whole statement goes when it was the only alias.
 
@@ -33,7 +37,7 @@ from typing import Optional, Sequence
 from repro.staticcheck.core import Violation
 
 #: Rules this module knows how to rewrite.
-FIXABLE_RULES = frozenset({"NEON401", "NEON403", "NEON505"})
+FIXABLE_RULES = frozenset({"NEON401", "NEON403", "NEON406", "NEON505"})
 
 
 def _constant_by_value(module_name: str) -> dict[str, str]:
@@ -87,9 +91,11 @@ class _FileFixer:
         return None
 
     def rewrite_literal(self, node: ast.Constant, replacement: str) -> None:
-        self.replacements.append(
-            (node.lineno, node.col_offset, node.end_col_offset, replacement)
-        )
+        entry = (node.lineno, node.col_offset, node.end_col_offset, replacement)
+        # Two rules can agree on one literal (NEON401 + NEON406 both
+        # rewrite a span-shaped kind); apply the edit once.
+        if entry not in self.replacements:
+            self.replacements.append(entry)
 
     def has_binding(self, local: str) -> bool:
         for node in ast.walk(self.tree):
@@ -235,7 +241,7 @@ def apply_fixes(violations: Sequence[Violation]) -> FixOutcome:
                 skipped.append(violation)
                 continue
             fixers[violation.path] = fixer
-        if violation.rule_id == "NEON401":
+        if violation.rule_id in ("NEON401", "NEON406"):
             done = _fix_literal(
                 fixer, violation, event_constants, "events", "events",
                 "from repro.obs import events",

@@ -13,6 +13,7 @@ from repro.staticcheck.rules.determinism import DeterminismChecker
 from repro.staticcheck.rules.events import EventKindChecker
 from repro.staticcheck.rules.faults import FaultPointChecker
 from repro.staticcheck.rules.generators import GeneratorChecker
+from repro.staticcheck.rules.spans import SpanPairChecker
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.staticcheck.config import Config
@@ -33,6 +34,7 @@ RULES: dict[str, str] = {
     "NEON402": "trace.emit kind constant not registered in repro.obs.events",
     "NEON403": "faults.arm called with a string-literal injection point",
     "NEON404": "faults.arm point constant not registered in repro.faults.registry",
+    "NEON406": "trace.emit span-boundary kind not registered as a span pair",
     "NEON501": "call chain from a boundary module reaches device-internal state",
     "NEON502": "RNG stream escapes to module scope or flows into scheduler/workload code",
     "NEON503": "observation client touches an attribute outside the declared observation API",
@@ -46,6 +48,7 @@ _CHECKERS = (
     EventKindChecker,
     FaultPointChecker,
     GeneratorChecker,
+    SpanPairChecker,
 )
 
 

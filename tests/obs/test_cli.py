@@ -52,6 +52,19 @@ def test_summary_inline_recording(capsys):
     assert "engagement-overhead breakdown" in out
 
 
+def test_summary_json_is_machine_readable(trace_file, capsys):
+    # 'repro why' consumes this payload for its run-overview preamble.
+    assert trace_main(["summary", str(trace_file), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["records"] > 0
+    assert payload["dropped"] == 0
+    assert set(payload["tasks"]) == {"glxgears", "BitonicSort"}
+    for task in payload["tasks"].values():
+        assert task["submits"] >= task["completes"]
+    assert payload["kind_counts"]["request_submit"] > 0
+    assert len(payload["span_us"]) == 2
+
+
 def test_summary_is_deterministic(capsys):
     trace_main(["summary", *RUN_ARGS])
     first = capsys.readouterr().out

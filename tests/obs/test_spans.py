@@ -1,0 +1,289 @@
+"""Causal lifecycle spans: reconstruction, decomposition, blame, export.
+
+The invariants pinned here are the layer's contract:
+
+* every span's components sum EXACTLY (integer microseconds, no epsilon)
+  to the sum of its segment durations;
+* segments telescope — contiguous, non-overlapping, in time order;
+* a live :class:`SpanBuilder` sink and a replay over exported JSONL
+  produce byte-identical serializations (eviction-independence, the same
+  property PR-8's windows have);
+* interference blame only ever names *other* tenants.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.fleet.registry import build_fleet_env, run_fleet
+from repro.fleet.tenants import FleetTenant
+from repro.obs.export import read_jsonl, write_jsonl
+from repro.obs.spans import (
+    COMPONENTS,
+    SPAN_PAIRS,
+    TERMINALS,
+    SpanBuilder,
+    build_spans,
+    register_span_pair,
+    span_constant_names,
+    span_kinds,
+)
+from repro.sim.trace import TraceRecorder
+
+from tests.obs.conftest import traced_run
+
+
+@pytest.fixture(scope="module")
+def span_run():
+    env, trace, _results = traced_run()
+    return trace, env.sim.now, build_spans(trace, env.sim.now)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+def test_registered_pairs_cover_the_lifecycle():
+    assert {"barrier", "sample_window", "sched.wait", "exec",
+            "fleet.migrate"} <= set(SPAN_PAIRS)
+    assert "exec.begin" in span_kinds()
+    assert "EXEC_BEGIN" in span_constant_names()
+
+
+def test_register_rejects_duplicates_and_unknown_kinds():
+    with pytest.raises(ValueError):
+        register_span_pair("exec", "exec.begin", ("request_complete",), ())
+    with pytest.raises(ValueError):
+        register_span_pair("bogus", "no.such_begin", ("no.such_end",), ())
+
+
+# ----------------------------------------------------------------------
+# Reconstruction invariants
+# ----------------------------------------------------------------------
+
+def test_spans_reconstructed_and_terminals_valid(span_run):
+    _trace, _end, span_set = span_run
+    assert len(span_set.spans) > 100
+    assert {span.terminal for span in span_set.spans} <= set(TERMINALS)
+    # The overwhelming majority of a clean run completes.
+    complete = [s for s in span_set.spans if s.terminal == "complete"]
+    assert len(complete) > 0.9 * len(span_set.spans)
+
+
+def test_components_sum_exactly_to_segment_total(span_run):
+    _trace, _end, span_set = span_run
+    for span in span_set.spans:
+        segment_total = sum(seg.duration_us for seg in span.segments)
+        assert sum(span.components.values()) == segment_total  # exact, ±0
+        assert set(span.components) <= set(COMPONENTS)
+        assert all(value >= 0 for value in span.components.values())
+
+
+def test_segments_telescope(span_run):
+    _trace, _end, span_set = span_run
+    for span in span_set.spans:
+        for left, right in zip(span.segments, span.segments[1:]):
+            assert left.end_us == right.start_us  # contiguous
+            assert left.label != right.label      # merged when equal
+        for seg in span.segments:
+            assert seg.end_us >= seg.start_us
+
+
+def test_complete_spans_carry_device_latency(span_run):
+    _trace, _end, span_set = span_run
+    for span in span_set.spans:
+        if span.terminal == "complete":
+            assert span.latency_us is not None
+
+
+def test_live_sink_and_replay_are_byte_identical(span_run):
+    trace, end_us, replay_set = span_run
+    # Live: a retain=False recorder fans records to the builder as they
+    # are emitted; replay: export to JSONL, read back, rebuild.
+    live = SpanBuilder()
+    for record in trace.records():
+        live(record)
+    live_set = live.finish(end_us)
+    buffer = io.StringIO()
+    write_jsonl(trace, buffer)
+    buffer.seek(0)
+    rebuilt = build_spans(read_jsonl(buffer), end_us)
+    left = json.dumps(live_set.to_dict(), sort_keys=True)
+    right = json.dumps(rebuilt.to_dict(), sort_keys=True)
+    assert left == right
+
+
+def test_builder_finish_is_idempotent(span_run):
+    trace, end_us, _span_set = span_run
+    builder = SpanBuilder()
+    for record in trace.records():
+        builder(record)
+    first = json.dumps(builder.finish(end_us).to_dict(), sort_keys=True)
+    again = json.dumps(builder.finish(end_us).to_dict(), sort_keys=True)
+    assert again == first
+
+
+# ----------------------------------------------------------------------
+# Selection, decomposition, blame
+# ----------------------------------------------------------------------
+
+def test_select_windows_on_span_end(span_run):
+    _trace, end_us, span_set = span_run
+    window = (10_000.0, 50_000.0)
+    chosen = span_set.select(start_us=window[0], end_us=window[1])
+    assert chosen
+    for span in chosen:
+        assert window[0] <= span.end_us < window[1]
+    # Task filter composes.
+    gears = span_set.select(task="glxgears")
+    assert gears and all(span.task == "glxgears" for span in gears)
+
+
+def test_decompose_totals_match_span_sums(span_run):
+    _trace, _end, span_set = span_run
+    spans = span_set.select(task="glxgears")
+    totals = span_set.decompose(spans)
+    assert sum(totals.values()) == sum(
+        sum(span.components.values()) for span in spans
+    )
+
+
+def test_blame_names_only_other_tenants(span_run):
+    _trace, _end, span_set = span_run
+    blame = span_set.blame(span_set.select(task="glxgears"))
+    assert "glxgears" not in blame
+    assert all(overlap > 0 for overlap in blame.values())
+    # Two-tenant run: all interference comes from the other tenant.
+    assert set(blame) <= {"BitonicSort"}
+
+
+def test_blame_matrix_is_pairwise(span_run):
+    _trace, _end, span_set = span_run
+    matrix = span_set.blame_matrix()
+    assert set(matrix) == set(span_set.tasks())
+    for victim, row in matrix.items():
+        assert victim not in row
+
+
+def test_critical_path_reports_worst_span(span_run):
+    _trace, _end, span_set = span_run
+    path = span_set.critical_path("glxgears")
+    assert path["task"] == "glxgears"
+    worst = max(
+        (s for s in span_set.spans if s.task == "glxgears"),
+        key=lambda s: s.duration_us,
+    )
+    assert path["critical_span"]["span_id"] == worst.span_id
+    assert path["total_us"] == sum(path["components"].values())
+
+
+def test_system_spans_cover_engagement_episodes(span_run):
+    _trace, _end, span_set = span_run
+    pairs = {span.pair for span in span_set.system_spans}
+    assert "barrier" in pairs
+    for span in span_set.system_spans:
+        assert span.end_us >= span.start_us
+
+
+# ----------------------------------------------------------------------
+# Fleet: device tags and migration linkage
+# ----------------------------------------------------------------------
+
+def fleet_spans(moves=()):
+    trace = TraceRecorder()
+    env = build_fleet_env(devices=2, scheduler="dfq", seed=0, trace=trace)
+    workloads = [
+        FleetTenant(f"t{i:03d}", request_size_us=800.0) for i in range(4)
+    ]
+    run_fleet(env, workloads, 120_000.0, 10_000.0, moves=list(moves))
+    return build_spans(trace, env.sim.now)
+
+
+def test_fleet_spans_carry_device_tags():
+    span_set = fleet_spans()
+    devices = {span.device for span in span_set.spans}
+    assert devices == {0, 1}
+
+
+def test_migration_produces_linked_cross_device_segments():
+    span_set = fleet_spans(moves=[(60_000.0, "t000", 1)])
+    links = [link for link in span_set.migrations if link.task == "t000"]
+    assert len(links) == 1
+    link = links[0]
+    assert (link.src, link.dst) == (0, 1)
+    assert link.cost_us >= 0
+    before = [
+        s for s in span_set.spans
+        if s.task == "t000" and s.migration_epoch == 0
+    ]
+    after = [
+        s for s in span_set.spans
+        if s.task == "t000" and s.migration_epoch == 1
+    ]
+    assert before and after
+    assert {s.device for s in before} == {0}
+    assert {s.device for s in after} == {1}
+    # Boundary-only migration drains in-flight work first, so no span is
+    # interrupted: everything on the source device completed normally.
+    assert all(s.terminal == "complete" for s in before)
+
+
+def test_interrupted_span_closes_as_migrated():
+    # Synthetic stream: a request is still in flight when its context is
+    # torn down mid-migration — the span must close as 'migrated', once.
+    from repro.obs import events
+    from repro.sim.trace import TraceRecord
+
+    builder = SpanBuilder()
+    for t, src, kind, payload in [
+        (10.0, "kernel", events.FAULT,
+         {"task": "t0", "channel": 1, "device": 0}),
+        (12.0, "kernel", events.REQUEST_SUBMIT,
+         {"task": "t0", "channel": 1, "ref": 7, "device": 0}),
+        (20.0, "fleet", events.FLEET_MIGRATE_BEGIN,
+         {"task": "t0", "src": 0, "dst": 1}),
+        (25.0, "gpu.compute", events.CONTEXT_KILLED,
+         {"task": "t0", "device": 0}),
+        (40.0, "fleet", events.FLEET_MIGRATE_END,
+         {"task": "t0", "src": 0, "dst": 1, "cost_us": 15.0}),
+    ]:
+        builder(TraceRecord(t, src, kind, payload))
+    span_set = builder.finish(50.0)
+    assert [span.terminal for span in span_set.spans] == ["migrated"]
+    span = span_set.spans[0]
+    assert span.task == "t0" and span.device == 0 and span.ref == 7
+    assert sum(span.components.values()) == sum(
+        seg.duration_us for seg in span.segments
+    )
+    assert len(span_set.migrations) == 1
+
+
+def test_migration_component_charged_to_overlapping_spans():
+    span_set = fleet_spans(moves=[(60_000.0, "t000", 1)])
+    migrated = sum(
+        span.components.get("migration", 0)
+        for span in span_set.spans
+        if span.task == "t000"
+    )
+    assert migrated >= 0  # carve-out preserves exactness either way
+    for span in span_set.spans:
+        assert sum(span.components.values()) == sum(
+            seg.duration_us for seg in span.segments
+        )
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+def test_to_dict_round_trips_through_json(span_run):
+    _trace, _end, span_set = span_run
+    payload = json.loads(json.dumps(span_set.to_dict(), sort_keys=True))
+    assert payload["format"] == "repro-spans"
+    assert payload["version"] == 1
+    assert len(payload["spans"]) == len(span_set.spans)
+    sample = payload["spans"][0]
+    for key in ("span_id", "task", "device", "terminal", "segments",
+                "components", "start_us", "end_us"):
+        assert key in sample

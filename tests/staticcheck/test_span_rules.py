@@ -1,0 +1,115 @@
+"""Span-pair rule (NEON406): positives, negatives, autofix parity."""
+
+from textwrap import dedent
+
+from repro.obs.events import constant_names
+from repro.obs.spans import span_constant_names, span_kinds
+from repro.staticcheck import Config, analyze_paths
+from repro.staticcheck.engine import run_analysis
+from repro.staticcheck.fix import apply_fixes
+
+from tests.staticcheck.conftest import rule_locations
+
+
+def spans_fixture(fixtures):
+    return fixtures / "boundary_pkg" / "repro" / "bad_spans.py"
+
+
+def test_bad_spans_fixture_flags_each_seeded_violation(fixtures):
+    violations = analyze_paths([spans_fixture(fixtures)], Config())
+    assert rule_locations(violations) == [
+        ("NEON401", 7),   # literal "barrier_begin" (both rules fire)
+        ("NEON406", 7),
+        ("NEON402", 8),   # MY_PHASE_BEGIN unregistered everywhere
+        ("NEON406", 8),
+        ("NEON402", 9),   # kwarg form
+        ("NEON406", 9),
+        ("NEON402", 13),  # non-span branch of the conditional kind
+        ("NEON406", 13),
+    ]
+
+
+def test_pragma_grants_audited_exception(fixtures):
+    violations = analyze_paths([spans_fixture(fixtures)], Config())
+    # Line 18 carries ``# neonlint: allow[NEON401,NEON406]``.
+    assert all(violation.line != 18 for violation in violations)
+
+
+def test_registered_span_emits_pass(fixtures):
+    # Lines 15-16 use registered pair constants / non-span kinds.
+    violations = analyze_paths([spans_fixture(fixtures)], Config())
+    assert all(violation.line not in (15, 16) for violation in violations)
+
+
+def test_rule_scoped_to_configured_modules_only(fixtures):
+    config = Config(trace_emit_modules=("somewhere.else",))
+    assert analyze_paths([spans_fixture(fixtures)], config) == []
+
+
+def test_span_constants_are_a_subset_of_event_constants():
+    # NEON406's advice (use the paired constant) is always satisfiable
+    # through the same events-module spelling NEON402 points at.
+    assert span_constant_names() <= constant_names()
+    from repro.obs import events as events_module
+
+    resolved = {getattr(events_module, name) for name in span_constant_names()}
+    assert resolved == set(span_kinds())
+
+
+def test_every_boundary_named_constant_is_paired():
+    # The production registry itself satisfies the rule: no *_BEGIN/_END
+    # constant exists outside a registered pair.
+    boundary = {
+        name for name in constant_names()
+        if name.endswith(("_BEGIN", "_END"))
+    }
+    assert boundary <= span_constant_names()
+
+
+# ----------------------------------------------------------------------
+# Autofix parity with NEON401/403
+# ----------------------------------------------------------------------
+
+def _fix_once(path):
+    result = run_analysis([path], Config(), whole_program=True)
+    return result, apply_fixes(result.violations)
+
+
+def test_span_literal_is_rewritten_once(tmp_path):
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    mod = pkg / "emitter.py"
+    mod.write_text(dedent("""\
+        def run(trace, now):
+            trace.emit(now, "scheduler", "barrier_begin", episode=1)
+    """))
+    result, outcome = _fix_once(tmp_path)
+    fired = sorted(v.rule_id for v in result.violations)
+    assert "NEON401" in fired and "NEON406" in fired
+    # Both findings count as fixed, through one edit.
+    assert sorted(v.rule_id for v in outcome.fixed) == ["NEON401", "NEON406"]
+    text = mod.read_text()
+    assert text.count("events.BARRIER_BEGIN") == 1
+    assert "from repro.obs import events" in text
+    assert '"barrier_begin"' not in text
+    after = run_analysis([tmp_path], Config(), whole_program=True)
+    assert not any(
+        v.rule_id in ("NEON401", "NEON406") for v in after.violations
+    )
+
+
+def test_unpaired_span_literal_is_skipped_not_mangled(tmp_path):
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    mod = pkg / "emitter.py"
+    source = dedent("""\
+        def run(trace, now):
+            trace.emit(now, "scheduler", "my.phase_begin", task="t")
+    """)
+    mod.write_text(source)
+    _, outcome = _fix_once(tmp_path)
+    assert outcome.fixed == []
+    assert {v.rule_id for v in outcome.skipped} == {"NEON401", "NEON406"}
+    assert mod.read_text() == source  # untouched
